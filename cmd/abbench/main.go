@@ -1,0 +1,85 @@
+// Command abbench regenerates the evaluation figures of "Application-
+// Bypass Reduction for Large-Scale Clusters" (CLUSTER 2003) on the
+// simulated cluster.
+//
+// Usage:
+//
+//	abbench [-fig 6|7|8|9|10|all] [-ablations] [-iters N] [-seed N] [-csv]
+//
+// Each figure prints as an aligned table; -csv switches to CSV for
+// plotting. The defaults (200 iterations) give stable virtual-time
+// averages in seconds of wall time; the paper's 10,000 iterations also
+// work if you have the patience.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"abred/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10 or all")
+	ablations := flag.Bool("ablations", false, "also run the delay-heuristic and NIC-reduction studies")
+	iters := flag.Int("iters", 200, "benchmark iterations per data point")
+	seed := flag.Int64("seed", 20030701, "simulation seed (results are exactly reproducible per seed)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	emit := func(t *bench.Table) {
+		if *csv {
+			t.WriteCSV(os.Stdout)
+			fmt.Println()
+		} else {
+			t.Write(os.Stdout)
+		}
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	start := time.Now()
+	ran := 0
+
+	if want("6") {
+		emit(bench.Fig6(*iters, *seed))
+		ran++
+	}
+	if want("7") {
+		emit(bench.Fig7(*iters, *seed))
+		ran++
+	}
+	if want("8") {
+		emit(bench.Fig8(*iters, *seed))
+		ran++
+	}
+	if want("9") {
+		hetero, homog := bench.Fig9(*iters, *seed)
+		emit(hetero)
+		emit(homog)
+		ran++
+	}
+	if want("10") {
+		emit(bench.Fig10(*iters, *seed))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "abbench: unknown figure %q (want 6, 7, 8, 9, 10 or all)\n", *fig)
+		os.Exit(2)
+	}
+
+	if *ablations {
+		emit(bench.AblationDelay(32, 4, *iters, 200*time.Microsecond, *seed))
+		emit(bench.AblationNICReduce(32, *iters, 500*time.Microsecond, *seed))
+		emit(bench.AblationSignalCost(32, 4, *iters, 500*time.Microsecond, *seed))
+		emit(bench.AblationHeterogeneity(32, 4, *iters, *seed))
+		emit(bench.AblationRendezvousAB(16, *iters/4+1, 800*time.Microsecond, *seed))
+	}
+
+	if !*csv {
+		fmt.Printf("%s in %v (iters=%d, seed=%d)\n",
+			strings.TrimSuffix(fmt.Sprintf("%d figure runs", ran), ""), time.Since(start).Round(time.Millisecond), *iters, *seed)
+	}
+}

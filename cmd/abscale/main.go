@@ -1,0 +1,52 @@
+// Command abscale projects the paper's comparison past its 32-node
+// testbed — the future work named in §VII ("we intend to evaluate the
+// performance of application-bypass operations on large-scale
+// clusters"). It replicates the paper's interlaced heterogeneous node
+// mix out to the requested sizes and reports average per-node CPU
+// utilization for both implementations, skewed and unskewed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"abred/internal/bench"
+)
+
+func main() {
+	max := flag.Int("max", 256, "largest cluster size (power of two)")
+	count := flag.Int("count", 4, "message elements (double words)")
+	iters := flag.Int("iters", 100, "iterations per data point")
+	seed := flag.Int64("seed", 20030701, "simulation seed")
+	skew := flag.Duration("skew", time.Millisecond, "maximum skew for the skewed sweep")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	var sizes []int
+	for n := 8; n <= *max; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		fmt.Fprintln(os.Stderr, "abscale: -max must be at least 8")
+		os.Exit(2)
+	}
+
+	for _, s := range []struct {
+		skew time.Duration
+		note string
+	}{
+		{*skew, "skewed"},
+		{0, "no artificial skew"},
+	} {
+		t := bench.ScaleProjection(sizes, s.skew, *count, *iters, *seed)
+		t.Title = fmt.Sprintf("%s (%s, max skew %v, %d elements)", t.Title, s.note, s.skew, *count)
+		if *csv {
+			t.WriteCSV(os.Stdout)
+			fmt.Println()
+		} else {
+			t.Write(os.Stdout)
+		}
+	}
+}

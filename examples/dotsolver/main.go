@@ -1,0 +1,165 @@
+// Distributed iterative solver with residual-norm monitoring — the
+// class of application the paper's motivation cites: large-scale
+// scientific codes whose reductions are almost all on one to three
+// elements (Moody et al., ref [9]: "95% of all reductions are performed
+// on three or less elements").
+//
+// Sixteen ranks run Jacobi sweeps on a block-distributed tridiagonal
+// system A·x = b, A = tridiag(-1, 4, -1). After every sweep each rank
+// contributes its local ‖r‖² to a single-element reduction so rank 0
+// can monitor convergence — standard practice in production solvers.
+//
+// With the default implementation every internal tree rank blocks in
+// that reduction each sweep, inheriting its subtree's load imbalance.
+// With the split-phase application-bypass reduction (IReduce, §II of
+// the paper) the monitoring traffic flows entirely in the background:
+// no rank ever waits for it, and rank 0 collects the whole residual
+// history at the end.
+//
+//	go run ./examples/dotsolver
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"abred"
+)
+
+const (
+	ranks     = 16
+	localN    = 32
+	sweeps    = 60
+	imbalance = 150 * time.Microsecond
+)
+
+// haloExchange shares block-boundary values with neighbours (even ranks
+// send first, odd ranks receive first).
+func haloExchange(r *abred.Rank, x []float64) (left, right float64) {
+	rank, size := r.Rank(), r.Size()
+	const tagL, tagR = 1, 2
+	send := func() {
+		if rank > 0 {
+			r.Send(rank-1, tagR, x[:1])
+		}
+		if rank < size-1 {
+			r.Send(rank+1, tagL, x[len(x)-1:])
+		}
+	}
+	recv := func() {
+		if rank > 0 {
+			left = r.Recv(rank-1, tagL, 1)[0]
+		}
+		if rank < size-1 {
+			right = r.Recv(rank+1, tagR, 1)[0]
+		}
+	}
+	if rank%2 == 0 {
+		send()
+		recv()
+	} else {
+		recv()
+		send()
+	}
+	return left, right
+}
+
+// sweep performs one Jacobi update and returns the local ‖r‖².
+func sweep(r *abred.Rank, x, next []float64) float64 {
+	left, right := haloExchange(r, x)
+	res := 0.0
+	for i := range x {
+		lo, hi := left, right
+		if i > 0 {
+			lo = x[i-1]
+		} else if r.Rank() == 0 {
+			lo = 0
+		}
+		if i < len(x)-1 {
+			hi = x[i+1]
+		} else if r.Rank() == r.Size()-1 {
+			hi = 0
+		}
+		next[i] = (1 + lo + hi) / 4
+		ri := 1 + lo + hi - 4*x[i]
+		res += ri * ri
+	}
+	copy(x, next)
+	return res
+}
+
+// solve runs the sweeps; split selects split-phase (application-bypass)
+// monitoring. It returns the residual history at rank 0, the wall time
+// and rank 8's time spent inside reduction calls.
+func solve(split bool, seed int64) (history []float64, wall, inReduce time.Duration) {
+	cl := abred.NewCluster(abred.WithNodes(ranks), abred.WithSeed(seed))
+	wall = cl.Run(func(r *abred.Rank) {
+		rng := rand.New(rand.NewSource(seed + int64(r.Rank())))
+		x := make([]float64, localN)
+		next := make([]float64, localN)
+		futures := make([]*abred.Future, 0, sweeps)
+		var calls time.Duration
+
+		for it := 0; it < sweeps; it++ {
+			r.Compute(time.Duration(rng.Int63n(int64(imbalance))))
+			res := sweep(r, x, next)
+			t0 := r.Now()
+			if split {
+				futures = append(futures, r.IReduce([]float64{res}, abred.Sum, 0))
+			} else {
+				v := r.ReduceNoBypass([]float64{res}, abred.Sum, 0)
+				if r.Rank() == 0 {
+					history = append(history, math.Sqrt(v[0]))
+				}
+			}
+			calls += r.Now() - t0
+		}
+
+		if split {
+			// The solver is done; now collect the monitoring history.
+			for _, f := range futures {
+				if v := f.Wait(); v != nil {
+					history = append(history, math.Sqrt(v[0]))
+				}
+			}
+		}
+		r.Compute(time.Millisecond)
+		r.Barrier()
+		if r.Rank() == 8 {
+			inReduce = calls
+		}
+	})
+	return history, wall, inReduce
+}
+
+func main() {
+	fmt.Printf("Jacobi on a %d-unknown tridiagonal system, %d ranks, %d sweeps,\n", ranks*localN, ranks, sweeps)
+	fmt.Printf("one 1-element residual reduction per sweep, imbalance up to %v\n\n", imbalance)
+
+	nabHist, nabWall, nabCall := solve(false, 11)
+	abHist, abWall, abCall := solve(true, 11)
+
+	fmt.Printf("%-28s %14s %26s\n", "monitoring style", "job wall time", "rank 8 time in reductions")
+	fmt.Printf("%-28s %14v %26v\n", "blocking (default reduce)", nabWall.Round(time.Microsecond), nabCall.Round(time.Microsecond))
+	fmt.Printf("%-28s %14v %26v\n", "split-phase (IReduce, AB)", abWall.Round(time.Microsecond), abCall.Round(time.Microsecond))
+	fmt.Printf("\nresidual history identical: first %.3e, last %.3e (both styles agree: %v)\n",
+		nabHist[0], nabHist[len(nabHist)-1], equal(nabHist, abHist))
+	fmt.Printf("time inside reduction calls cut %.0fx — those cycles are free for the solver\n",
+		float64(nabCall)/float64(abCall))
+	fmt.Printf("(wall times %v vs %v: the sweep's halo chain, not the monitoring, bounds this job)\n",
+		nabWall.Round(time.Microsecond), abWall.Round(time.Microsecond))
+}
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12*math.Max(1, math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,3 @@
+module abred
+
+go 1.22

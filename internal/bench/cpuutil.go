@@ -1,0 +1,196 @@
+// Package bench implements the paper's two microbenchmarks (§VI) on the
+// simulated cluster, plus the sweep drivers that regenerate every figure
+// of the evaluation section.
+//
+// CPU-utilization benchmark (per the paper): within each iteration a
+// node starts its timer, busy-spins a random skew delay in [0, MaxSkew],
+// performs the reduction, busy-spins a conservative catch-up delay, and
+// stops the timer. Skew and catch-up are subtracted from the elapsed
+// time; what remains is the CPU consumed by the reduction — including
+// polling inside MPI_Reduce (non-AB) and signal handlers that interrupt
+// the delay loops (AB), because the delay spins are interruptible, just
+// like the paper's busy loops.
+//
+// Latency benchmark (per the paper): without skew, timing starts just
+// before the node farthest from the root enters the reduction; when the
+// root completes it sends a notification to that node, which stops the
+// clock and subtracts the one-way latency of the notification message.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"abred/internal/cluster"
+	"abred/internal/coll"
+	"abred/internal/core"
+	"abred/internal/model"
+	"abred/internal/mpi"
+	"abred/internal/sim"
+	"abred/internal/stats"
+)
+
+// Mode selects the reduction implementation under test.
+type Mode int
+
+// Benchmark modes.
+const (
+	NonAppBypass Mode = iota // default MPICH binomial reduction
+	AppBypass                // the paper's application-bypass reduction
+	NICBased                 // NIC-based reduction (future-work extension)
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case NonAppBypass:
+		return "nab"
+	case AppBypass:
+		return "ab"
+	case NICBased:
+		return "nic"
+	}
+	return "?"
+}
+
+// Config parameterizes one benchmark run.
+type Config struct {
+	Specs   []model.NodeSpec
+	Count   int // elements per message (double words)
+	Mode    Mode
+	MaxSkew sim.Time
+	Iters   int
+	Seed    int64
+	Delay   core.DelayPolicy // §IV-E heuristic; nil = no delay
+	Root    int
+	Costs   *model.Costs // nil = model.DefaultCosts (sensitivity studies)
+
+	// RendezvousAB opts the engines into the §V-B large-message bypass
+	// extension (AppBypass mode only).
+	RendezvousAB bool
+}
+
+// clusterConfig assembles the cluster construction parameters.
+func (c *Config) clusterConfig() cluster.Config {
+	cc := cluster.Config{Specs: c.Specs, Seed: c.Seed}
+	if c.Costs != nil {
+		cc.Costs = *c.Costs
+	}
+	return cc
+}
+
+func (c *Config) defaults() {
+	if c.Iters == 0 {
+		c.Iters = 200
+	}
+	if c.Count == 0 {
+		c.Count = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 20030701 // CLUSTER 2003
+	}
+}
+
+// CPUUtilResult is one CPU-utilization measurement.
+type CPUUtilResult struct {
+	AvgCPU  sim.Time // mean over nodes and iterations (the paper's metric)
+	PerNode []sim.Time
+	Summary stats.Summary
+	Signals uint64 // total signals handled across the cluster
+}
+
+// CPUUtil runs the CPU-utilization microbenchmark.
+func CPUUtil(cfg Config) CPUUtilResult {
+	cfg.defaults()
+	size := len(cfg.Specs)
+	if size < 1 {
+		panic("bench: empty cluster")
+	}
+	cl := cluster.New(cfg.clusterConfig())
+
+	// Pre-generate per-(iteration, rank) skews so results are
+	// independent of execution interleaving.
+	rng := cl.K.NewRNG()
+	skews := make([][]sim.Time, cfg.Iters)
+	for it := range skews {
+		skews[it] = make([]sim.Time, size)
+		if cfg.MaxSkew > 0 {
+			for r := range skews[it] {
+				skews[it][r] = sim.Time(rng.Int63n(int64(cfg.MaxSkew) + 1))
+			}
+		}
+	}
+
+	// Conservative reduction-latency estimate for the catch-up delay:
+	// depth * (per-hop cost) with generous slack, like the paper's
+	// "conservative estimate of the maximum reduction latency".
+	lat := estimateLatency(size, cfg.Count)
+	catchup := cfg.MaxSkew + lat
+
+	perNode := make([]sim.Time, size)
+	var signals uint64
+
+	cl.Run(func(n *cluster.Node, w *mpi.Comm) {
+		if cfg.Mode == AppBypass && cfg.Delay != nil {
+			n.Engine.SetDelayPolicy(cfg.Delay)
+		}
+		if cfg.Mode == AppBypass && cfg.RendezvousAB {
+			n.Engine.EnableRendezvousAB()
+		}
+		in := make([]byte, cfg.Count*8)
+		for i := 0; i < cfg.Count; i++ {
+			copy(in[i*8:], mpi.Float64sToBytes([]float64{float64(n.ID + i)}))
+		}
+		out := make([]byte, cfg.Count*8)
+
+		var cpu sim.Time
+		for it := 0; it < cfg.Iters; it++ {
+			skew := skews[it][n.ID]
+			t0 := n.Proc.Now()
+			n.Proc.SpinInterruptible(skew)
+			reduceOnce(cfg.Mode, n, w, in, out, cfg.Count, cfg.Root)
+			n.Proc.SpinInterruptible(catchup)
+			elapsed := n.Proc.Now() - t0
+			cpu += elapsed - skew - catchup
+			coll.Barrier(w)
+		}
+		perNode[n.ID] = cpu / sim.Time(cfg.Iters)
+		signals += n.Engine.Metrics.SignalsHandled
+	})
+
+	var total sim.Time
+	for _, c := range perNode {
+		total += c
+	}
+	return CPUUtilResult{
+		AvgCPU:  total / sim.Time(size),
+		PerNode: perNode,
+		Summary: stats.Summarize(perNode),
+		Signals: signals,
+	}
+}
+
+// reduceOnce dispatches to the implementation under test.
+func reduceOnce(mode Mode, n *cluster.Node, w *mpi.Comm, in, out []byte, count, root int) {
+	switch mode {
+	case NonAppBypass:
+		coll.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, root)
+	case AppBypass:
+		n.Engine.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, root)
+	case NICBased:
+		n.Engine.NICReduce(w, in, out, count, mpi.Float64, mpi.OpSum, root)
+	default:
+		panic(fmt.Sprintf("bench: unknown mode %d", mode))
+	}
+}
+
+// estimateLatency returns a deliberately generous bound on reduction
+// latency for sizing catch-up delays.
+func estimateLatency(size, count int) sim.Time {
+	depth := coll.Depth(size)
+	if depth == 0 {
+		depth = 1
+	}
+	perHop := 25*time.Microsecond + time.Duration(count)*100*time.Nanosecond
+	return sim.Time(depth)*perHop + 150*time.Microsecond
+}

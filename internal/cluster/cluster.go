@@ -1,0 +1,96 @@
+// Package cluster assembles complete virtual clusters: a simulation
+// kernel, a fabric, one NIC per node, and an SPMD launcher that runs an
+// MPI program as one simulated process per node.
+package cluster
+
+import (
+	"fmt"
+
+	"abred/internal/core"
+	"abred/internal/fabric"
+	"abred/internal/gm"
+	"abred/internal/model"
+	"abred/internal/mpi"
+	"abred/internal/sim"
+)
+
+// Node bundles everything belonging to one cluster node. Proc, MPI and
+// Engine are populated when a program starts running on the node.
+type Node struct {
+	ID     int
+	Spec   model.NodeSpec
+	CM     model.CostModel
+	NIC    *gm.NIC
+	Proc   *sim.Proc
+	MPI    *mpi.Process
+	Engine *core.Engine
+	world  *mpi.Comm
+}
+
+// Cluster is a simulated machine room.
+type Cluster struct {
+	K      *sim.Kernel
+	Costs  model.Costs
+	Fabric *fabric.Fabric
+	Nodes  []*Node
+}
+
+// Config controls cluster construction.
+type Config struct {
+	Specs []model.NodeSpec // node hardware; one entry per node
+	Costs model.Costs      // zero value means model.DefaultCosts
+	Seed  int64            // kernel seed; reuse to reproduce a run exactly
+}
+
+// New builds a cluster: kernel, fabric and NICs. MPI processes appear
+// when Run starts a program.
+func New(cfg Config) *Cluster {
+	if len(cfg.Specs) == 0 {
+		panic("cluster: no node specs")
+	}
+	if cfg.Costs == (model.Costs{}) {
+		cfg.Costs = model.DefaultCosts()
+	}
+	k := sim.New(cfg.Seed)
+	fab := fabric.New(k, len(cfg.Specs), cfg.Costs)
+	c := &Cluster{K: k, Costs: cfg.Costs, Fabric: fab}
+	for i, spec := range cfg.Specs {
+		cm := model.NewCostModel(spec, cfg.Costs)
+		c.Nodes = append(c.Nodes, &Node{
+			ID:   i,
+			Spec: spec,
+			CM:   cm,
+			NIC:  gm.NewNIC(k, i, cm, fab),
+		})
+	}
+	return c
+}
+
+// Program is the per-rank body of an SPMD run. The world communicator
+// and the node's application-bypass engine arrive ready to use.
+type Program func(n *Node, w *mpi.Comm)
+
+// Run executes program once per node and drives the simulation to
+// completion, returning the final virtual time. Run may be called again
+// to execute a follow-up program on the same cluster.
+func (c *Cluster) Run(program Program) sim.Time {
+	size := len(c.Nodes)
+	for _, n := range c.Nodes {
+		n := n
+		c.K.Spawn(fmt.Sprintf("rank%d", n.ID), func(p *sim.Proc) {
+			n.Proc = p
+			if n.MPI == nil {
+				n.MPI = mpi.NewProcess(p, n.ID, size, n.NIC, n.CM)
+				n.Engine = core.NewEngine(n.MPI)
+				n.world = mpi.World(n.MPI)
+			} else {
+				// Follow-up program on the same cluster: rebind the
+				// rank to its fresh simulated process, keeping queues,
+				// sequence counters and engine state.
+				n.MPI.Rebind(p)
+			}
+			program(n, n.world)
+		})
+	}
+	return c.K.Run()
+}

@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"abred/internal/coll"
+	"abred/internal/model"
+	"abred/internal/mpi"
+	"abred/internal/sim"
+)
+
+const us = time.Microsecond
+
+// expectSum returns the expected sum-reduction result for rank inputs
+// value(rank, i) = rank*1000 + i.
+func expectSum(size, count int) []float64 {
+	out := make([]float64, count)
+	for r := 0; r < size; r++ {
+		for i := 0; i < count; i++ {
+			out[i] += float64(r*1000 + i)
+		}
+	}
+	return out
+}
+
+func rankInput(rank, count int) []float64 {
+	in := make([]float64, count)
+	for i := range in {
+		in[i] = float64(rank*1000 + i)
+	}
+	return in
+}
+
+func checkResult(t *testing.T, got []byte, want []float64) {
+	t.Helper()
+	vals := mpi.BytesToFloat64s(got)
+	for i, w := range want {
+		if vals[i] != w {
+			t.Fatalf("element %d = %v, want %v (full: %v)", i, vals[i], w, vals)
+		}
+	}
+}
+
+func TestDefaultReduceCorrect(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 5, 8, 13, 16, 32} {
+		size := size
+		c := New(Config{Specs: model.Uniform(size), Seed: 42})
+		count := 4
+		results := make([][]byte, size)
+		c.Run(func(n *Node, w *mpi.Comm) {
+			in := mpi.Float64sToBytes(rankInput(n.ID, count))
+			out := make([]byte, count*8)
+			coll.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, 0)
+			results[n.ID] = out
+		})
+		checkResult(t, results[0], expectSum(size, count))
+	}
+}
+
+func TestDefaultReduceAllRoots(t *testing.T) {
+	size := 7
+	for root := 0; root < size; root++ {
+		root := root
+		c := New(Config{Specs: model.Uniform(size), Seed: 1})
+		count := 3
+		results := make([][]byte, size)
+		c.Run(func(n *Node, w *mpi.Comm) {
+			in := mpi.Float64sToBytes(rankInput(n.ID, count))
+			out := make([]byte, count*8)
+			coll.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, root)
+			results[n.ID] = out
+		})
+		checkResult(t, results[root], expectSum(size, count))
+	}
+}
+
+func TestABReduceCorrectNoSkew(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 5, 8, 13, 16, 32} {
+		size := size
+		c := New(Config{Specs: model.Uniform(size), Seed: 7})
+		count := 4
+		results := make([][]byte, size)
+		c.Run(func(n *Node, w *mpi.Comm) {
+			in := mpi.Float64sToBytes(rankInput(n.ID, count))
+			out := make([]byte, count*8)
+			n.Engine.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, 0)
+			// Internal nodes may exit before their async work is done;
+			// a barrier cannot save us (async work continues under it),
+			// so wait for quiescence explicitly.
+			coll.Barrier(w)
+			results[n.ID] = out
+		})
+		checkResult(t, results[0], expectSum(size, count))
+	}
+}
+
+// TestABReduceUnderSkew is the paper's core scenario: processes enter
+// the reduction at very different times; internal nodes must return from
+// the call early and finish their part asynchronously, and the result at
+// the root must still be exact.
+func TestABReduceUnderSkew(t *testing.T) {
+	for _, size := range []int{4, 8, 16, 32} {
+		size := size
+		c := New(Config{Specs: model.PaperCluster(size), Seed: 99})
+		count := 32
+		results := make([][]byte, size)
+		c.Run(func(n *Node, w *mpi.Comm) {
+			rng := c.K.NewRNG()
+			in := mpi.Float64sToBytes(rankInput(n.ID, count))
+			out := make([]byte, count*8)
+			for iter := 0; iter < 5; iter++ {
+				// Deterministic but wildly different skews per rank/iter.
+				skew := sim.Time((n.ID*7919+iter*104729)%1000) * us
+				_ = rng
+				n.Proc.SpinInterruptible(skew)
+				n.Engine.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, 0)
+				// Catch-up so all async work lands inside the iteration.
+				n.Proc.SpinInterruptible(1500 * us)
+				coll.Barrier(w)
+				if n.ID == 0 {
+					checkResult(t, out, expectSum(size, count))
+				}
+			}
+			results[n.ID] = out
+		})
+		if c.Nodes[1].Engine.Metrics.ABReductions == 0 && size > 2 {
+			// rank 1 is a leaf in a 0-rooted tree; check an internal one.
+			internal := 2
+			if c.Nodes[internal].Engine.Metrics.ABReductions == 0 {
+				t.Fatalf("size %d: no AB reductions recorded on internal node", size)
+			}
+		}
+	}
+}
+
+// TestABReduceBackToBack reproduces §IV-D's hard case: several
+// reductions outstanding at once because one child is consistently late.
+// Late messages must match the right reduction instance.
+func TestABReduceBackToBack(t *testing.T) {
+	size := 8
+	const rounds = 6
+	c := New(Config{Specs: model.Uniform(size), Seed: 3})
+	count := 2
+	var roots [rounds][]byte
+	c.Run(func(n *Node, w *mpi.Comm) {
+		out := make([]byte, count*8)
+		for iter := 0; iter < rounds; iter++ {
+			if n.ID == 6 {
+				// Process six is consistently late (the paper's example).
+				n.Proc.SpinInterruptible(400 * us)
+			}
+			in := mpi.Float64sToBytes([]float64{float64(n.ID + iter), float64(n.ID * iter)})
+			n.Engine.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, 0)
+			if n.ID == 0 {
+				roots[iter] = append([]byte(nil), out...)
+			}
+			// No barrier: let instances overlap.
+		}
+		n.Proc.SpinInterruptible(5000 * us)
+		coll.Barrier(w)
+	})
+	for iter := 0; iter < rounds; iter++ {
+		var want0, want1 float64
+		for r := 0; r < size; r++ {
+			want0 += float64(r + iter)
+			want1 += float64(r * iter)
+		}
+		checkResult(t, roots[iter], []float64{want0, want1})
+	}
+}
+
+// TestABInternalNodeReturnsEarly checks the headline behaviour: with a
+// late child, the non-AB parent burns the whole wait inside MPI_Reduce,
+// while the AB parent returns promptly.
+func TestABInternalNodeReturnsEarly(t *testing.T) {
+	size := 4 // tree at root 0: children 1,2; node 2 has child 3
+	const lateBy = 800 * us
+
+	run := func(ab bool) (inCall sim.Time) {
+		c := New(Config{Specs: model.Uniform(size), Seed: 5})
+		c.Run(func(n *Node, w *mpi.Comm) {
+			count := 4
+			in := mpi.Float64sToBytes(rankInput(n.ID, count))
+			out := make([]byte, count*8)
+			if n.ID == 3 {
+				n.Proc.SpinInterruptible(lateBy) // late leaf
+			}
+			t0 := n.Proc.Now()
+			if ab {
+				n.Engine.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, 0)
+			} else {
+				coll.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, 0)
+			}
+			if n.ID == 2 {
+				inCall = n.Proc.Now() - t0
+			}
+			n.Proc.SpinInterruptible(2000 * us)
+		})
+		return inCall
+	}
+
+	nab := run(false)
+	ab := run(true)
+	if nab < lateBy {
+		t.Errorf("non-AB internal node spent %v in MPI_Reduce; expected at least the %v skew", nab, lateBy)
+	}
+	if ab > lateBy/4 {
+		t.Errorf("AB internal node spent %v in MPI_Reduce; expected early return well under %v", ab, lateBy)
+	}
+}
+
+// TestSignalsDisabledWhenIdle checks the paper's signal discipline: after
+// all outstanding reductions complete, signals are off.
+func TestSignalsDisabledWhenIdle(t *testing.T) {
+	size := 4
+	c := New(Config{Specs: model.Uniform(size), Seed: 11})
+	c.Run(func(n *Node, w *mpi.Comm) {
+		count := 2
+		in := mpi.Float64sToBytes(rankInput(n.ID, count))
+		out := make([]byte, count*8)
+		if n.ID == 3 {
+			n.Proc.SpinInterruptible(300 * us)
+		}
+		n.Engine.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, 0)
+		n.Proc.SpinInterruptible(2000 * us)
+		coll.Barrier(w)
+		if n.NIC.SignalsEnabled() {
+			t.Errorf("rank %d: signals still enabled after quiescence", n.ID)
+		}
+		if n.Engine.OutstandingDescriptors() != 0 {
+			t.Errorf("rank %d: %d descriptors left", n.ID, n.Engine.OutstandingDescriptors())
+		}
+		if n.Engine.UBQLen() != 0 {
+			t.Errorf("rank %d: %d AB-unexpected messages left", n.ID, n.Engine.UBQLen())
+		}
+	})
+}
+
+// TestRendezvousReduce exercises the §V-B size fallback and the
+// rendezvous protocol underneath it.
+func TestRendezvousReduce(t *testing.T) {
+	size := 8
+	count := 4096 // 32 KiB > 16 KiB eager threshold
+	c := New(Config{Specs: model.Uniform(size), Seed: 2})
+	results := make([][]byte, size)
+	c.Run(func(n *Node, w *mpi.Comm) {
+		in := mpi.Float64sToBytes(rankInput(n.ID, count))
+		out := make([]byte, count*8)
+		n.Engine.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, 0)
+		results[n.ID] = out
+	})
+	checkResult(t, results[0], expectSum(size, count))
+	if got := c.Nodes[2].Engine.Metrics.SizeFallbacks; got != 1 {
+		t.Errorf("rank 2 size fallbacks = %d, want 1", got)
+	}
+}
+
+func TestHeterogeneousPaperCluster(t *testing.T) {
+	specs := model.PaperCluster32()
+	if len(specs) != 32 {
+		t.Fatalf("PaperCluster32 has %d nodes", len(specs))
+	}
+	n700, n1g, n64c := 0, 0, 0
+	for _, s := range specs {
+		switch s.Class {
+		case "piii-700/pci64b":
+			n700++
+		case "piii-1g/pci64b":
+			n1g++
+		case "piii-1g/pci64c":
+			n64c++
+		}
+	}
+	if n700 != 16 || n64c != 4 || n1g != 12 {
+		t.Fatalf("wrong mix: 700=%d 1g/64b=%d 1g/64c=%d", n700, n1g, n64c)
+	}
+	// Interlacing: even slots are 700 MHz.
+	for i := 0; i < 32; i += 2 {
+		if specs[i].CPUMHz != 700 {
+			t.Fatalf("slot %d not a 700 MHz node", i)
+		}
+	}
+	c := New(Config{Specs: specs, Seed: 13})
+	results := make([][]byte, 32)
+	c.Run(func(n *Node, w *mpi.Comm) {
+		in := mpi.Float64sToBytes(rankInput(n.ID, 4))
+		out := make([]byte, 32)
+		n.Engine.Reduce(w, in, out, 4, mpi.Float64, mpi.OpSum, 0)
+		coll.Barrier(w)
+		results[n.ID] = out
+	})
+	checkResult(t, results[0], expectSum(32, 4))
+}

@@ -1,0 +1,66 @@
+package coll
+
+import "abred/internal/mpi"
+
+// Barrier synchronizes all ranks the way MPICH 1.2 does: combine up a
+// binomial tree rooted at rank 0, then broadcast the release down the
+// same tree. The release wave reaches ranks at different times — rank 0
+// first, the deepest leaves ceil(log2 n) hops later — which is precisely
+// the "naturally-occurring skew" the paper observes growing with system
+// size even in its no-artificial-skew experiments (§VI-B). The
+// microbenchmarks separate iterations with this barrier, as the paper's
+// do.
+func Barrier(c *mpi.Comm) {
+	pr := c.Proc()
+	size := c.Size()
+	if size == 1 {
+		return
+	}
+	rank := c.Rank()
+	ctx := c.Ctx(mpi.CtxBarrier)
+	seq := c.NextSeq(mpi.CtxBarrier)
+	upTag := seqTag(seq * 2)
+	downTag := seqTag(seq*2 + 1)
+	parent := Parent(rank, 0, size)
+	children := Children(rank, 0, size)
+	var token [1]byte
+
+	// Combine phase: wait for the whole subtree, then report up.
+	for _, child := range children {
+		pr.Recv(ctx, child, upTag, token[:])
+	}
+	if parent >= 0 {
+		pr.Send(mpi.SendArgs{Dst: parent, Ctx: ctx, Tag: upTag, Data: token[:]})
+		pr.Recv(ctx, parent, downTag, token[:])
+	}
+	// Release phase: forward the release down the subtree.
+	for _, child := range children {
+		pr.Send(mpi.SendArgs{Dst: child, Ctx: ctx, Tag: downTag, Data: token[:]})
+	}
+}
+
+// BarrierDissemination is the dissemination barrier: ceil(log2 n)
+// rounds; in round k each rank sends to rank+2^k and receives from
+// rank-2^k. It releases all ranks within about one message latency of
+// each other, making it useful when a benchmark needs a tighter
+// synchronization point than the MPICH tree barrier provides.
+func BarrierDissemination(c *mpi.Comm) {
+	pr := c.Proc()
+	size := c.Size()
+	if size == 1 {
+		return
+	}
+	rank := c.Rank()
+	ctx := c.Ctx(mpi.CtxBarrier)
+	seq := c.NextSeq(mpi.CtxBarrier)
+	var token [1]byte
+	var buf [1]byte
+	for k, dist := 0, 1; dist < size; k, dist = k+1, dist*2 {
+		tag := seqTag(seq*64 + uint64(k))
+		to := (rank + dist) % size
+		from := (rank - dist + size) % size
+		sreq := pr.Isend(mpi.SendArgs{Dst: to, Ctx: ctx, Tag: tag, Data: token[:]})
+		pr.Recv(ctx, from, tag, buf[:])
+		sreq.Wait()
+	}
+}

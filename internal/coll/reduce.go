@@ -1,0 +1,94 @@
+package coll
+
+import (
+	"fmt"
+
+	"abred/internal/mpi"
+)
+
+// Reduce performs the default MPICH blocking reduction: every process
+// calls it; recvbuf receives the combined result at root only. Internal
+// processes block on each child in turn — the synchronization the paper
+// identifies as the scalability problem (§I).
+func Reduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.Datatype, op mpi.Op, root int) {
+	seq := c.NextSeq(mpi.CtxReduce)
+	ReduceWithSeq(c, seq, sendbuf, recvbuf, count, dt, op, root, false)
+}
+
+// ReduceWithSeq is Reduce for an explicit instance number on the
+// standard reduce context; the application-bypass layer uses it for its
+// root and fallback paths so both implementations stay wire-compatible
+// within one instance. collective selects the GM packet type for the
+// result sent to the parent.
+func ReduceWithSeq(c *mpi.Comm, seq uint64, sendbuf, recvbuf []byte, count int, dt mpi.Datatype, op mpi.Op, root int, collective bool) {
+	ReduceOnKind(c, mpi.CtxReduce, seq, sendbuf, recvbuf, count, dt, op, root, collective)
+}
+
+// ReduceOnKind is ReduceWithSeq on an explicit context kind, so the
+// split-phase fallback can stay on its own context.
+func ReduceOnKind(c *mpi.Comm, kind mpi.CtxKind, seq uint64, sendbuf, recvbuf []byte, count int, dt mpi.Datatype, op mpi.Op, root int, collective bool) {
+	pr := c.Proc()
+	n := checkReduceArgs(c, sendbuf, recvbuf, count, dt, op, root)
+	ctx := c.Ctx(kind)
+	tag := seqTag(seq)
+	rank, size := c.Rank(), c.Size()
+	parent := Parent(rank, root, size)
+	children := Children(rank, root, size)
+
+	if len(children) == 0 {
+		if parent < 0 { // single-process communicator
+			copy(recvbuf[:n], sendbuf[:n])
+			return
+		}
+		pr.Send(mpi.SendArgs{
+			Dst: parent, Ctx: ctx, Tag: tag, Data: sendbuf[:n],
+			Collective: collective, Root: int32(root), Seq: seq,
+		})
+		return
+	}
+
+	// Accumulate into a temporary so sendbuf stays untouched (MPI
+	// semantics); the initial copy is charged like MPICH's.
+	acc := make([]byte, n)
+	pr.P.Spin(pr.CM.HostCopy(n))
+	copy(acc, sendbuf[:n])
+
+	tmp := make([]byte, n)
+	for _, child := range children {
+		pr.Recv(ctx, child, tag, tmp)
+		pr.P.Spin(pr.CM.ReduceOp(count, dt.Size()))
+		mpi.Apply(op, dt, acc, tmp, count)
+	}
+
+	if parent < 0 {
+		copy(recvbuf[:n], acc)
+		return
+	}
+	pr.Send(mpi.SendArgs{
+		Dst: parent, Ctx: ctx, Tag: tag, Data: acc,
+		Collective: collective, Root: int32(root), Seq: seq,
+	})
+}
+
+// seqTag folds a collective instance number into a tag.
+func seqTag(seq uint64) int32 { return int32(seq & 0x7FFFFFFF) }
+
+func checkReduceArgs(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.Datatype, op mpi.Op, root int) int {
+	if count <= 0 {
+		panic(fmt.Sprintf("coll: non-positive count %d", count))
+	}
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("coll: root %d out of range (size %d)", root, c.Size()))
+	}
+	if !op.ValidFor(dt) {
+		panic(fmt.Sprintf("coll: op %v undefined for %v", op, dt))
+	}
+	n := count * dt.Size()
+	if len(sendbuf) < n {
+		panic(fmt.Sprintf("coll: sendbuf %d bytes < %d", len(sendbuf), n))
+	}
+	if c.Rank() == root && len(recvbuf) < n {
+		panic(fmt.Sprintf("coll: recvbuf %d bytes < %d at root", len(recvbuf), n))
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+// Package coll provides the default MPICH collective algorithms — the
+// non-application-bypass baseline the paper compares against (§II). The
+// reduction follows MPICH 1.2.x exactly: a binomial tree rooted at the
+// operation's root, each process blocking on its children in ascending
+// mask order before sending the combined result to its parent.
+package coll
+
+import "fmt"
+
+// Parent returns rank's parent in the binomial tree rooted at root, or
+// -1 if rank is the root. The tree matches Fig. 1 of the paper: with
+// eight processes rooted at 0, process 0 has children {1, 2, 4}, process
+// 2 has {3}, process 4 has {5, 6} and process 6 has {7}.
+func Parent(rank, root, size int) int {
+	checkTreeArgs(rank, root, size)
+	rel := (rank - root + size) % size
+	if rel == 0 {
+		return -1
+	}
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask != 0 {
+			return ((rel &^ mask) + root) % size
+		}
+	}
+	return -1
+}
+
+// Children returns rank's children in the binomial tree rooted at root,
+// in ascending mask order — the order the default MPICH reduction
+// receives them in.
+func Children(rank, root, size int) []int {
+	checkTreeArgs(rank, root, size)
+	rel := (rank - root + size) % size
+	var kids []int
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask != 0 {
+			break
+		}
+		child := rel | mask
+		if child < size {
+			kids = append(kids, (child+root)%size)
+		}
+	}
+	return kids
+}
+
+// IsLeaf reports whether rank has no children in the tree rooted at
+// root.
+func IsLeaf(rank, root, size int) bool { return len(Children(rank, root, size)) == 0 }
+
+// Depth returns the tree depth: ceil(log2(size)).
+func Depth(size int) int {
+	d := 0
+	for n := 1; n < size; n <<= 1 {
+		d++
+	}
+	return d
+}
+
+// LastRank returns the rank farthest from root in the binomial tree:
+// the highest relative rank, which sits at maximum depth. The latency
+// benchmark (§VI) starts timing at this node.
+func LastRank(root, size int) int {
+	return (size - 1 + root) % size
+}
+
+func checkTreeArgs(rank, root, size int) {
+	if size <= 0 || rank < 0 || rank >= size || root < 0 || root >= size {
+		panic(fmt.Sprintf("coll: bad tree args rank=%d root=%d size=%d", rank, root, size))
+	}
+}

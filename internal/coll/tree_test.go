@@ -1,0 +1,169 @@
+package coll
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFig1Tree checks the exact tree of the paper's Fig. 1: eight
+// processes rooted at 0.
+func TestFig1Tree(t *testing.T) {
+	wantChildren := map[int][]int{
+		0: {1, 2, 4},
+		1: {},
+		2: {3},
+		3: {},
+		4: {5, 6},
+		5: {},
+		6: {7},
+		7: {},
+	}
+	wantParent := map[int]int{0: -1, 1: 0, 2: 0, 3: 2, 4: 0, 5: 4, 6: 4, 7: 6}
+	for rank := 0; rank < 8; rank++ {
+		kids := Children(rank, 0, 8)
+		if len(kids) != len(wantChildren[rank]) {
+			t.Fatalf("rank %d children = %v, want %v", rank, kids, wantChildren[rank])
+		}
+		for i, k := range kids {
+			if k != wantChildren[rank][i] {
+				t.Fatalf("rank %d children = %v, want %v", rank, kids, wantChildren[rank])
+			}
+		}
+		if p := Parent(rank, 0, 8); p != wantParent[rank] {
+			t.Fatalf("rank %d parent = %d, want %d", rank, p, wantParent[rank])
+		}
+	}
+}
+
+// TestTreeConsistency is the structural property the collectives depend
+// on: for every (size, root), parent/child relations are mutual, every
+// non-root has exactly one parent, and the tree spans all ranks.
+func TestTreeConsistency(t *testing.T) {
+	f := func(sizeRaw, rootRaw uint8) bool {
+		size := int(sizeRaw%63) + 1
+		root := int(rootRaw) % size
+		seen := make([]int, size) // parent-edge count per rank
+		for rank := 0; rank < size; rank++ {
+			p := Parent(rank, root, size)
+			if rank == root {
+				if p != -1 {
+					return false
+				}
+			} else {
+				if p < 0 || p >= size {
+					return false
+				}
+				seen[rank]++
+				// Mutuality: rank must appear in p's child list.
+				found := false
+				for _, c := range Children(p, root, size) {
+					if c == rank {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			// Children must name rank as parent.
+			for _, c := range Children(rank, root, size) {
+				if Parent(c, root, size) != rank {
+					return false
+				}
+			}
+		}
+		for rank, n := range seen {
+			if rank != root && n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTreeDepthBound: the binomial tree has depth ceil(log2 size).
+func TestTreeDepthBound(t *testing.T) {
+	depthOf := func(rank, root, size int) int {
+		d := 0
+		for rank != root {
+			rank = Parent(rank, root, size)
+			d++
+			if d > size {
+				t.Fatalf("cycle detected at size=%d root=%d", size, root)
+			}
+		}
+		return d
+	}
+	for _, size := range []int{1, 2, 3, 5, 8, 16, 17, 31, 32, 33, 64} {
+		for _, root := range []int{0, size / 2, size - 1} {
+			bound := Depth(size)
+			for rank := 0; rank < size; rank++ {
+				if d := depthOf(rank, root, size); d > bound {
+					t.Fatalf("size=%d root=%d rank=%d depth %d > bound %d", size, root, rank, d, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 32: 5, 33: 6, 1024: 10}
+	for size, want := range cases {
+		if got := Depth(size); got != want {
+			t.Errorf("Depth(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestLastRank(t *testing.T) {
+	if LastRank(0, 8) != 7 {
+		t.Errorf("LastRank(0,8) = %d", LastRank(0, 8))
+	}
+	if LastRank(3, 8) != 2 {
+		t.Errorf("LastRank(3,8) = %d", LastRank(3, 8))
+	}
+	// The last rank must be a leaf at maximal depth.
+	for _, size := range []int{2, 8, 16, 32} {
+		for _, root := range []int{0, 1, size - 1} {
+			last := LastRank(root, size)
+			if len(Children(last, root, size)) != 0 {
+				t.Errorf("size=%d root=%d: last rank %d is not a leaf", size, root, last)
+			}
+		}
+	}
+}
+
+func TestChildrenAscendingMaskOrder(t *testing.T) {
+	// MPICH receives children in ascending mask order; our Children
+	// must list them that way (paper Fig. 1: node 0 -> 1, 2, 4).
+	kids := Children(0, 0, 32)
+	want := []int{1, 2, 4, 8, 16}
+	if len(kids) != len(want) {
+		t.Fatalf("children of root in 32 = %v", kids)
+	}
+	for i := range want {
+		if kids[i] != want[i] {
+			t.Fatalf("children order = %v, want %v", kids, want)
+		}
+	}
+}
+
+func TestBadTreeArgsPanic(t *testing.T) {
+	for _, call := range []func(){
+		func() { Parent(0, 0, 0) },
+		func() { Parent(5, 0, 4) },
+		func() { Children(0, 9, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for bad tree args")
+				}
+			}()
+			call()
+		}()
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"abred/internal/coll"
+	"abred/internal/mpi"
+)
+
+// Reduce is the application-bypass reduction (§V). It is call-compatible
+// with coll.Reduce: every rank calls it, recvbuf receives the result at
+// root. Root and leaf ranks, and messages beyond the eager limit, fall
+// back to the default synchronous path (§V-B); internal ranks run the
+// split synchronous/asynchronous logic of Figs. 3 and 5 and may return
+// before all of their children have arrived.
+func (e *Engine) Reduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.Datatype, op mpi.Op, root int) {
+	pr := e.pr
+	if c.Proc() != pr {
+		panic("core: communicator belongs to a different process")
+	}
+	tIn := pr.P.Now()
+	defer func() { e.trace('R', tIn, pr.P.Now()) }()
+	n := count * dt.Size()
+	seq := c.NextSeq(mpi.CtxReduce)
+
+	if n > pr.CM.C.EagerThreshold && !e.rendezvousAB {
+		// Rendezvous-sized messages: standard reduction (§V-B). With
+		// EnableRendezvousAB the bypass path below handles them too.
+		e.Metrics.SizeFallbacks++
+		coll.ReduceWithSeq(c, seq, sendbuf, recvbuf, count, dt, op, root, false)
+		return
+	}
+
+	rank, size := c.Rank(), c.Size()
+	children := coll.Children(rank, root, size)
+
+	if rank == root {
+		// The root must block until the reduction completes (the MPI
+		// standard makes MPI_Reduce blocking), so it gains nothing from
+		// bypass and uses the default synchronous code (§II, §V-B). Its
+		// children still send collective-typed packets; the Fig. 4 root
+		// check passes them through to default matching.
+		e.Metrics.RootReductions++
+		coll.ReduceWithSeq(c, seq, sendbuf, recvbuf, count, dt, op, root, true)
+		return
+	}
+	if len(children) == 0 {
+		// A leaf's only action is one send to its parent (§II).
+		e.Metrics.LeafReductions++
+		parent := coll.Parent(rank, root, size)
+		pr.Send(mpi.SendArgs{
+			Dst: parent, Ctx: c.Ctx(mpi.CtxReduce), Tag: seqTag(seq), Data: sendbuf[:n],
+			Collective: true, Root: int32(root), Seq: seq,
+		})
+		return
+	}
+
+	// Internal node: the synchronous component of Fig. 3.
+	e.Metrics.ABReductions++
+	d := e.beginInternal(c, mpi.CtxReduce, seq, sendbuf, count, dt, op, root, nil, nil)
+	e.syncPhase(d, size, count)
+}
+
+// beginInternal disables signals, builds the reduce descriptor and
+// enqueues it, then consumes any early messages already buffered in the
+// AB unexpected queue (Fig. 3: Disable signals → Enqueue reduce
+// descriptor; §IV-C).
+func (e *Engine) beginInternal(c *mpi.Comm, kind mpi.CtxKind, seq uint64, sendbuf []byte, count int, dt mpi.Datatype, op mpi.Op, root int, req *Request, recvbuf []byte) *descriptor {
+	pr := e.pr
+	n := count * dt.Size()
+	rank, size := c.Rank(), c.Size()
+
+	pr.NIC().DisableSignals()
+
+	acc := make([]byte, n)
+	pr.P.Spin(pr.CM.HostCopy(n))
+	copy(acc, sendbuf[:n])
+
+	d := &descriptor{
+		ctx:     c.Ctx(kind),
+		seq:     seq,
+		tag:     seqTag(seq),
+		root:    root,
+		parent:  coll.Parent(rank, root, size),
+		pending: coll.Children(rank, root, size),
+		acc:     acc,
+		count:   count,
+		dt:      dt,
+		op:      op,
+		req:     req,
+		recvbuf: recvbuf,
+		created: pr.P.Now(),
+	}
+	e.pushDesc(d)
+	e.drainUBQ(d)
+	return d
+}
+
+// syncPhase walks the remaining children inside the Reduce call: drain
+// whatever the NIC already delivered, optionally linger for stragglers
+// per the §IV-E delay policy, then delegate the rest to the asynchronous
+// component and return (Fig. 3 right-hand column).
+func (e *Engine) syncPhase(d *descriptor, size, count int) {
+	pr := e.pr
+	e.inSync++
+
+	// Trigger progress: the hook consumes our children's packets.
+	pr.ProgressPoll()
+
+	if !d.completed {
+		if wait := e.delay.Delay(size, count); wait > 0 {
+			deadline := pr.P.Now() + wait
+			for !d.completed && pr.P.Now() < deadline {
+				if pr.ProgressFor(deadline - pr.P.Now()) {
+					if !d.completed {
+						continue
+					}
+					e.Metrics.DelayHits++
+				}
+			}
+			if !d.completed {
+				e.Metrics.DelayExpirations++
+			}
+		}
+	}
+
+	e.inSync--
+	// Fig. 3 exit arc: enable signals iff reductions remain outstanding.
+	e.updateSignals()
+}
+
+// seqTag folds an instance number into a message tag (kept identical to
+// the coll package's encoding for wire compatibility).
+func seqTag(seq uint64) int32 { return int32(seq & 0x7FFFFFFF) }
+
+// String summarizes engine state for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("engine(rank=%d, desc=%d, ubq=%d)", e.pr.Rank(), len(e.descQ), len(e.ubq))
+}

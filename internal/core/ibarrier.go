@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"abred/internal/mpi"
+)
+
+// Split-phase synchronizing collectives — the enhancement §II sketches:
+// "It could even benefit synchronizing operations like barrier and
+// all-reduce if they are implemented in a split-phase manner." Both are
+// composed from the split-phase reduction and broadcast, chained through
+// completion continuations so every phase advances asynchronously: a
+// rank posts the operation, keeps computing, and the whole
+// reduce-then-release wave propagates through signal handlers.
+//
+// Ordering rule (as for MPI-3 nonblocking collectives): between posting
+// one of these operations and its completion, no other collective that
+// consumes the same context's sequence numbers may be issued on the
+// communicator.
+
+// IAllreduce posts a split-phase allreduce: reduce to rank 0, then
+// broadcast the result, both application-bypass. recvbuf receives the
+// combined result on every rank once Wait returns.
+func (e *Engine) IAllreduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.Datatype, op mpi.Op) *Request {
+	pr := e.pr
+	if c.Proc() != pr {
+		panic("core: communicator belongs to a different process")
+	}
+	n := count * dt.Size()
+	if len(recvbuf) < n {
+		panic(fmt.Sprintf("core: allreduce recvbuf %d bytes < %d", len(recvbuf), n))
+	}
+	outer := &Request{e: e}
+
+	if c.Rank() == 0 {
+		red := e.IReduce(c, sendbuf, recvbuf, count, dt, op, 0)
+		red.setOnDone(func() {
+			// The reduced result is in recvbuf; release it down the
+			// tree. The root's IBcast completes as soon as its sends
+			// are posted.
+			bc := e.IBcast(c, recvbuf[:n], count, dt, 0)
+			bc.setOnDone(outer.complete)
+		})
+		return outer
+	}
+
+	// Non-root: contribute upward and independently await the release.
+	red := e.IReduce(c, sendbuf, recvbuf, count, dt, op, 0)
+	bc := e.IBcast(c, recvbuf[:n], count, dt, 0)
+	remaining := 2
+	arm := func() {
+		remaining--
+		if remaining == 0 {
+			outer.complete()
+		}
+	}
+	red.setOnDone(arm)
+	bc.setOnDone(arm)
+	return outer
+}
+
+// IBarrier posts a split-phase barrier: it returns immediately; Wait
+// (or Done) reports once every rank has entered. Implemented as a
+// split-phase allreduce of one token byte.
+func (e *Engine) IBarrier(c *mpi.Comm) *Request {
+	scratch := make([]byte, 1) // per-instance: barriers may overlap
+	return e.IAllreduce(c, []byte{1}, scratch, 1, mpi.Byte, mpi.OpBOr)
+}

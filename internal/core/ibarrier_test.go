@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"abred/internal/coll"
+	"abred/internal/mpi"
+	"abred/internal/sim"
+)
+
+// TestIAllreduceCorrect: every rank gets the full combination.
+func TestIAllreduceCorrect(t *testing.T) {
+	for _, size := range []int{2, 3, 8, 16} {
+		size := size
+		got := make([]float64, size)
+		runWorld(size, int64(size), func(r *ctxRank) {
+			if r.w.Rank()%2 == 1 {
+				r.p.SpinInterruptible(sim.Time(r.w.Rank()) * 60 * time.Microsecond)
+			}
+			out := make([]byte, 16)
+			req := r.e.IAllreduce(r.w, f64s(float64(r.w.Rank()), 1), out, 2, mpi.Float64, mpi.OpSum)
+			r.p.SpinInterruptible(2 * time.Millisecond)
+			req.Wait()
+			got[r.w.Rank()] = mpi.BytesToFloat64s(out)[0]
+			if mpi.BytesToFloat64s(out)[1] != float64(size) {
+				t.Errorf("size %d rank %d second element = %v", size, r.w.Rank(), mpi.BytesToFloat64s(out)[1])
+			}
+			coll.Barrier(r.w)
+		})
+		for rk, v := range got {
+			if v != sumTo(size) {
+				t.Errorf("size %d rank %d allreduce = %v, want %v", size, rk, v, sumTo(size))
+			}
+		}
+	}
+}
+
+// TestIAllreduceOverlapsComputation: with enough computation posted
+// after it, IAllreduce completes without any rank blocking in Wait.
+func TestIAllreduceOverlapsComputation(t *testing.T) {
+	size := 8
+	runWorld(size, 31, func(r *ctxRank) {
+		out := make([]byte, 8)
+		req := r.e.IAllreduce(r.w, f64s(1), out, 1, mpi.Float64, mpi.OpSum)
+		r.p.SpinInterruptible(3 * time.Millisecond)
+		t0 := r.p.Now()
+		req.Wait()
+		if waited := r.p.Now() - t0; waited > 5*time.Microsecond {
+			t.Errorf("rank %d still waited %v after 3ms of overlap", r.w.Rank(), waited)
+		}
+		if got := mpi.BytesToFloat64s(out)[0]; got != float64(size) {
+			t.Errorf("rank %d result %v", r.w.Rank(), got)
+		}
+		coll.Barrier(r.w)
+	})
+}
+
+// TestIBarrierSynchronizes: no rank's IBarrier may complete before the
+// last rank posted it.
+func TestIBarrierSynchronizes(t *testing.T) {
+	size := 8
+	posted := make([]sim.Time, size)
+	completed := make([]sim.Time, size)
+	runWorld(size, 32, func(r *ctxRank) {
+		// Heavy stagger in when ranks reach the barrier.
+		r.p.SpinInterruptible(sim.Time(r.w.Rank()*r.w.Rank()) * 20 * time.Microsecond)
+		posted[r.w.Rank()] = r.p.Now()
+		req := r.e.IBarrier(r.w)
+		for !req.Done() {
+			r.p.SpinInterruptible(10 * time.Microsecond)
+		}
+		completed[r.w.Rank()] = r.p.Now()
+		r.p.SpinInterruptible(time.Millisecond)
+		coll.Barrier(r.w)
+	})
+	lastPost := posted[0]
+	for _, p := range posted {
+		if p > lastPost {
+			lastPost = p
+		}
+	}
+	for rk, c := range completed {
+		if c < lastPost {
+			t.Errorf("rank %d finished the split-phase barrier at %v, before the last post at %v", rk, c, lastPost)
+		}
+	}
+}
+
+// TestIBarrierOverlap: a rank that keeps computing is never forced to
+// block for the barrier.
+func TestIBarrierOverlap(t *testing.T) {
+	size := 4
+	runWorld(size, 33, func(r *ctxRank) {
+		if r.w.Rank() == 3 {
+			r.p.SpinInterruptible(500 * time.Microsecond) // late entrant
+		}
+		req := r.e.IBarrier(r.w)
+		r.p.SpinInterruptible(2 * time.Millisecond) // overlapped work
+		t0 := r.p.Now()
+		req.Wait()
+		if waited := r.p.Now() - t0; waited > 5*time.Microsecond {
+			t.Errorf("rank %d blocked %v in Wait despite overlap", r.w.Rank(), waited)
+		}
+		coll.Barrier(r.w)
+	})
+}
+
+// TestBackToBackIAllreduce checks sequence alignment across repeated
+// split-phase synchronizing collectives.
+func TestBackToBackIAllreduce(t *testing.T) {
+	size := 8
+	const rounds = 6
+	results := make([][]float64, size)
+	runWorld(size, 34, func(r *ctxRank) {
+		for it := 0; it < rounds; it++ {
+			out := make([]byte, 8)
+			req := r.e.IAllreduce(r.w, f64s(float64(r.w.Rank()+it)), out, 1, mpi.Float64, mpi.OpSum)
+			r.p.SpinInterruptible(1500 * time.Microsecond)
+			req.Wait()
+			results[r.w.Rank()] = append(results[r.w.Rank()], mpi.BytesToFloat64s(out)[0])
+		}
+		coll.Barrier(r.w)
+	})
+	for rk := 0; rk < size; rk++ {
+		for it := 0; it < rounds; it++ {
+			want := sumTo(size) + float64(it*size)
+			if results[rk][it] != want {
+				t.Errorf("rank %d round %d = %v, want %v", rk, it, results[rk][it], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"abred/internal/coll"
+	"abred/internal/gm"
+	"abred/internal/mpi"
+	"abred/internal/sim"
+)
+
+// NIC-based reduction — the paper's §VII future-work direction (refs
+// [9–11]): "part or all of the operation may be performed on the NIC
+// processor, as opposed to being performed on the host. This frees the
+// host processor for use in other computation, naturally bypassing the
+// application."
+//
+// Every node deposits its contribution into its own NIC; the LANai
+// control program combines contributions from the node's subtree in NIC
+// memory and forwards the partial result up the binomial tree entirely
+// on the NIC plane. Non-root hosts return as soon as the deposit is
+// posted; only the root blocks, waiting for the final result to be
+// DMA'd up. The trade-off the referenced work debates is visible in the
+// cost model: the LANai has no FPU, so NIC-side arithmetic is slow.
+
+// nicInstance is the control program's per-instance state.
+type nicInstance struct {
+	acc  []byte
+	got  int
+	need int
+}
+
+// nicKey identifies a reduction instance on the NIC.
+type nicKey struct {
+	ctx uint16
+	seq uint64
+}
+
+// nicTable lives on the NIC (one per engine; the engine owns the node's
+// firmware).
+type nicTable map[nicKey]*nicInstance
+
+// installNICFirmware loads the reduction control program onto the
+// node's NIC. Called at engine creation so contributions from eager
+// children are combined even before the local host reaches its call.
+func (e *Engine) installNICFirmware() {
+	table := make(nicTable)
+	nic := e.pr.NIC()
+	nic.SetFirmware(func(p *sim.Proc, pkt *gm.Packet) bool {
+		if pkt.Type != gm.NICCollective {
+			return false
+		}
+		e.nicProcess(p, table, pkt)
+		return true
+	})
+}
+
+// nicProcess handles one contribution in NIC-process context.
+func (e *Engine) nicProcess(p *sim.Proc, table nicTable, pkt *gm.Packet) {
+	pr := e.pr
+	rank, size := pr.Rank(), pr.Size()
+	root := int(pkt.Root)
+	key := nicKey{ctx: pkt.Ctx, seq: pkt.Seq}
+	dt := mpi.Datatype(pkt.AuxDT)
+	op := mpi.Op(pkt.AuxOp)
+	count := len(pkt.Data) / dt.Size()
+
+	inst := table[key]
+	if inst == nil {
+		inst = &nicInstance{need: len(coll.Children(rank, root, size)) + 1}
+		table[key] = inst
+	}
+	if inst.acc == nil {
+		inst.acc = append([]byte(nil), pkt.Data...)
+	} else {
+		p.Sleep(pr.CM.NICReduceOp(count, dt.Size()))
+		mpi.Apply(op, dt, inst.acc, pkt.Data, count)
+	}
+	inst.got++
+	if inst.got < inst.need {
+		return
+	}
+	delete(table, key)
+	e.Metrics.NICCombines += uint64(inst.need - 1)
+
+	if rank == root {
+		// DMA the final result up to the host, where it matches the
+		// root's posted receive.
+		result := &gm.Packet{
+			Type:    gm.NICCollective,
+			DstNode: rank,
+			Ctx:     pkt.Ctx,
+			Tag:     pkt.Tag,
+			SrcRank: int32(rank),
+			Root:    pkt.Root,
+			Seq:     pkt.Seq,
+			Data:    inst.acc,
+		}
+		p.Sleep(pr.CM.NICPkt(len(inst.acc))) // PCI DMA to host memory
+		pr.NIC().DeliverToHost(p, result)
+		return
+	}
+
+	parent := coll.Parent(rank, root, size)
+	up := &gm.Packet{
+		Type:    gm.NICCollective,
+		DstNode: parent,
+		Ctx:     pkt.Ctx,
+		Tag:     pkt.Tag,
+		SrcRank: int32(rank),
+		Root:    pkt.Root,
+		Seq:     pkt.Seq,
+		AuxOp:   pkt.AuxOp,
+		AuxDT:   pkt.AuxDT,
+		Data:    inst.acc,
+	}
+	pr.NIC().ForwardFromNIC(p, up)
+}
+
+// NICReduce performs the reduction on the NIC plane. Non-root ranks
+// return as soon as their contribution is handed to their NIC — an even
+// stronger form of application bypass. The root blocks for the final
+// result in recvbuf.
+func (e *Engine) NICReduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.Datatype, op mpi.Op, root int) {
+	pr := e.pr
+	if c.Proc() != pr {
+		panic("core: communicator belongs to a different process")
+	}
+	n := count * dt.Size()
+	if len(sendbuf) < n {
+		panic(fmt.Sprintf("core: sendbuf %d bytes < %d", len(sendbuf), n))
+	}
+	seq := c.NextSeq(mpi.CtxReduce)
+	ctx := c.Ctx(mpi.CtxReduce)
+	tag := seqTag(seq)
+	rank := c.Rank()
+	if rank == root && len(recvbuf) < n {
+		panic(fmt.Sprintf("core: recvbuf %d bytes < %d at root", len(recvbuf), n))
+	}
+	if n > pr.CM.C.EagerThreshold {
+		// NIC memory is small; large reductions stay on the host.
+		e.Metrics.SizeFallbacks++
+		coll.ReduceWithSeq(c, seq, sendbuf, recvbuf, count, dt, op, root, false)
+		return
+	}
+	e.Metrics.NICReductions++
+
+	// Deposit the local contribution into the NIC (host copy across
+	// PCI is charged by the control program; library overhead here).
+	pr.P.Spin(pr.CM.HostSendOvh())
+	deposit := &gm.Packet{
+		Type:    gm.NICCollective,
+		DstNode: rank,
+		Ctx:     ctx,
+		Tag:     tag,
+		SrcRank: int32(rank),
+		Root:    int32(root),
+		Seq:     seq,
+		AuxOp:   uint8(op),
+		AuxDT:   uint8(dt),
+		Data:    append([]byte(nil), sendbuf[:n]...),
+	}
+	pr.NIC().Deliver(deposit)
+
+	if rank != root {
+		return // fully bypassed
+	}
+	pr.Recv(ctx, root, tag, recvbuf[:n])
+}

@@ -1,0 +1,70 @@
+package gm
+
+import (
+	"fmt"
+
+	"abred/internal/model"
+	"abred/internal/sim"
+)
+
+// Region is a DMA-registered (pinned) memory range.
+type Region struct {
+	ID   uint64
+	Size int
+	live bool
+}
+
+// MemRegistry models GM's registered-memory requirement: the NIC can
+// only DMA to and from pinned pages, and pinning costs a system call
+// (§III). MPICH-over-GM pays this once for eager bounce buffers and per
+// message in rendezvous mode.
+type MemRegistry struct {
+	cm     model.CostModel
+	nextID uint64
+	live   map[uint64]*Region
+
+	pinnedBytes int
+	peakBytes   int
+	pins        uint64
+}
+
+// NewMemRegistry creates an empty registry using node costs cm.
+func NewMemRegistry(cm model.CostModel) *MemRegistry {
+	return &MemRegistry{cm: cm, live: make(map[uint64]*Region)}
+}
+
+// Pin registers size bytes for DMA, charging the syscall cost to p.
+func (r *MemRegistry) Pin(p *sim.Proc, size int) *Region {
+	p.Spin(r.cm.Pin(size))
+	r.nextID++
+	reg := &Region{ID: r.nextID, Size: size, live: true}
+	r.live[reg.ID] = reg
+	r.pins++
+	r.pinnedBytes += size
+	if r.pinnedBytes > r.peakBytes {
+		r.peakBytes = r.pinnedBytes
+	}
+	return reg
+}
+
+// Unpin releases a region. Unpinning a dead region is a programming
+// error and panics.
+func (r *MemRegistry) Unpin(p *sim.Proc, reg *Region) {
+	if !reg.live {
+		panic(fmt.Sprintf("gm: double unpin of region %d", reg.ID))
+	}
+	// Deregistration is cheap relative to registration; charge half.
+	p.Spin(r.cm.Pin(reg.Size) / 2)
+	reg.live = false
+	delete(r.live, reg.ID)
+	r.pinnedBytes -= reg.Size
+}
+
+// PinnedBytes returns currently registered bytes.
+func (r *MemRegistry) PinnedBytes() int { return r.pinnedBytes }
+
+// PeakBytes returns the high-water mark of registered bytes.
+func (r *MemRegistry) PeakBytes() int { return r.peakBytes }
+
+// Pins returns the number of Pin calls.
+func (r *MemRegistry) Pins() uint64 { return r.pins }

@@ -1,0 +1,268 @@
+package gm
+
+import (
+	"fmt"
+
+	"abred/internal/fabric"
+	"abred/internal/model"
+	"abred/internal/sim"
+)
+
+// Stats counts NIC activity.
+type Stats struct {
+	Sent, Received     uint64
+	BytesSent          uint64
+	SignalsRaised      uint64
+	SignalsSuppressed  uint64 // collective arrivals while signals disabled
+	FirmwareConsumed   uint64 // packets absorbed by NIC-resident firmware
+	TokenStallsHost    uint64 // host sends that had to wait for a token
+	TokenStallsNIC     uint64 // deliveries stalled for a receive token
+	MaxHostQueueDepth  int
+	CollectiveArrivals uint64
+}
+
+// nicEvent multiplexes the two work sources of the LANai control program.
+type nicEvent struct {
+	send *Packet // DMA descriptor posted by the host
+	recv *Packet // packet arriving from the wire
+}
+
+// Firmware is NIC-resident packet processing (the paper's future-work
+// direction, refs [9–11]: perform part of the reduction on the NIC).
+// It runs in NIC-process context; returning true absorbs the packet so
+// it is never delivered to the host.
+type Firmware func(nicProc *sim.Proc, pkt *Packet) bool
+
+// NIC models one GM network interface: a LANai processor running a
+// control program (a dedicated simulated process), DMA queues to and
+// from the host, and the paper's signal machinery.
+type NIC struct {
+	k    *sim.Kernel
+	node int
+	cm   model.CostModel
+	fab  *fabric.Fabric
+
+	evQ   *sim.Queue[nicEvent]
+	hostQ *sim.Queue[*Packet]
+
+	signalsOn  bool
+	sigPending bool
+	sigTarget  func()
+
+	firmware Firmware
+
+	sendTokens int
+	tokenCond  *sim.Cond
+
+	// Receive tokens: GM can only deliver into host buffers the
+	// application provided in advance; a delivery with no token parked
+	// in NIC memory until the host recycles one.
+	recvTokens int
+	recvCond   *sim.Cond
+
+	stats Stats
+}
+
+// DefaultSendTokens matches GM's out-of-the-box send-token allotment.
+const DefaultSendTokens = 61
+
+// DefaultRecvTokens is the receive-buffer pool MPICH-over-GM provides
+// at startup.
+const DefaultRecvTokens = 256
+
+// NewNIC creates the NIC for one node and starts its control program.
+func NewNIC(k *sim.Kernel, node int, cm model.CostModel, fab *fabric.Fabric) *NIC {
+	n := &NIC{
+		k:          k,
+		node:       node,
+		cm:         cm,
+		fab:        fab,
+		evQ:        sim.NewQueue[nicEvent](fmt.Sprintf("nic%d.ev", node)),
+		hostQ:      sim.NewQueue[*Packet](fmt.Sprintf("nic%d.host", node)),
+		sendTokens: DefaultSendTokens,
+		tokenCond:  sim.NewCond(fmt.Sprintf("nic%d.tokens", node)),
+		recvTokens: DefaultRecvTokens,
+		recvCond:   sim.NewCond(fmt.Sprintf("nic%d.rtokens", node)),
+	}
+	fab.Connect(node, func(fr fabric.Frame) {
+		n.evQ.Put(nicEvent{recv: fr.Payload.(*Packet)})
+	})
+	ctl := k.Spawn(fmt.Sprintf("lanai%d", node), n.controlProgram)
+	ctl.SetDaemon(true)
+	return n
+}
+
+// Node returns the node id this NIC serves.
+func (n *NIC) Node() int { return n.node }
+
+// Stats returns a copy of the NIC counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// controlProgram is the LANai firmware loop: it serializes send-side and
+// receive-side packet processing on the single NIC processor.
+func (n *NIC) controlProgram(p *sim.Proc) {
+	for {
+		ev := n.evQ.Get(p)
+		switch {
+		case ev.send != nil:
+			pkt := ev.send
+			// DMA the payload across PCI and process the packet.
+			p.Sleep(n.cm.NICPkt(len(pkt.Data)))
+			n.fab.Send(fabric.Frame{Src: n.node, Dst: pkt.DstNode, Size: pkt.WireSize(), Payload: pkt})
+			n.stats.Sent++
+			n.stats.BytesSent += uint64(pkt.WireSize())
+			n.sendTokens++
+			n.tokenCond.Broadcast()
+		case ev.recv != nil:
+			pkt := ev.recv
+			p.Sleep(n.cm.NICPkt(len(pkt.Data)))
+			n.stats.Received++
+			if n.firmware != nil && n.firmware(p, pkt) {
+				n.stats.FirmwareConsumed++
+				continue
+			}
+			n.deliverToHost(p, pkt)
+			if pkt.IsCollective() {
+				n.stats.CollectiveArrivals++
+				if n.signalsOn {
+					n.raise()
+				} else {
+					n.stats.SignalsSuppressed++
+				}
+			}
+		}
+	}
+}
+
+// deliverToHost lands a packet in the host receive queue, first
+// acquiring a receive token (backpressure: with none free the packet —
+// and the control program — waits in NIC memory).
+func (n *NIC) deliverToHost(p *sim.Proc, pkt *Packet) {
+	for n.recvTokens == 0 {
+		n.stats.TokenStallsNIC++
+		n.recvCond.Wait(p)
+	}
+	n.recvTokens--
+	n.hostQ.Put(pkt)
+	if d := n.hostQ.Len(); d > n.stats.MaxHostQueueDepth {
+		n.stats.MaxHostQueueDepth = d
+	}
+}
+
+// ReturnRecvToken recycles one receive buffer; hosts call it for every
+// packet they consume.
+func (n *NIC) ReturnRecvToken() {
+	n.recvTokens++
+	n.recvCond.Broadcast()
+}
+
+// ProvideRecvTokens grows the receive-buffer pool.
+func (n *NIC) ProvideRecvTokens(count int) {
+	n.recvTokens += count
+	n.recvCond.Broadcast()
+}
+
+// raise delivers a signal to the host unless one is already pending —
+// Unix signals of one number coalesce, and so does this model. Delivery
+// takes SignalDelay of kernel latency, during which further arrivals
+// batch into the same handler invocation.
+func (n *NIC) raise() {
+	if n.sigPending || n.sigTarget == nil {
+		return
+	}
+	n.sigPending = true
+	n.stats.SignalsRaised++
+	if d := n.cm.C.SignalDelay; d > 0 {
+		n.k.After(d, n.sigTarget)
+	} else {
+		n.sigTarget()
+	}
+}
+
+// Send hands a packet to the NIC, consuming a send token; the caller
+// parks if none are free (GM flow control). Host-side costs (library
+// overhead, bounce-buffer copies) are the caller's to charge — this is
+// the boundary where the message leaves host software.
+func (n *NIC) Send(p *sim.Proc, pkt *Packet) {
+	for n.sendTokens == 0 {
+		n.stats.TokenStallsHost++
+		n.tokenCond.Wait(p)
+	}
+	n.sendTokens--
+	pkt.SrcNode = n.node
+	n.evQ.Put(nicEvent{send: pkt})
+}
+
+// Poll removes the next received packet without blocking.
+func (n *NIC) Poll() (*Packet, bool) { return n.hostQ.TryGet() }
+
+// HasPackets reports whether received packets are waiting for the host.
+func (n *NIC) HasPackets() bool { return n.hostQ.Len() > 0 }
+
+// Recv parks until a packet arrives. The caller models GM's polling
+// receive, so it should charge the blocked time as CPU.
+func (n *NIC) Recv(p *sim.Proc) *Packet { return n.hostQ.Get(p) }
+
+// RecvTimeout is Recv bounded by d.
+func (n *NIC) RecvTimeout(p *sim.Proc, d sim.Time) (*Packet, bool) {
+	return n.hostQ.GetTimeout(p, d)
+}
+
+// EnableSignals lets the NIC raise a signal on collective-packet
+// arrival (§V-A).
+func (n *NIC) EnableSignals() { n.signalsOn = true }
+
+// DisableSignals stops signal generation; packets still queue for
+// polling.
+func (n *NIC) DisableSignals() { n.signalsOn = false }
+
+// SignalsEnabled reports the current signal mode.
+func (n *NIC) SignalsEnabled() bool { return n.signalsOn }
+
+// SetSignalHandler installs the host-side signal target. It runs in NIC
+// process context; implementations typically Interrupt the host process.
+func (n *NIC) SetSignalHandler(fn func()) { n.sigTarget = fn }
+
+// ConsumePendingSignal atomically claims the pending signal, reporting
+// whether one was outstanding. Two paths race for it: the host-side
+// signal handler, and the progress engine when it dequeues the packet
+// first (in which case the handler finds nothing and the trap cost is
+// charged where the packet was actually processed).
+func (n *NIC) ConsumePendingSignal() bool {
+	if !n.sigPending {
+		return false
+	}
+	n.sigPending = false
+	return true
+}
+
+// SetFirmware installs NIC-resident packet processing (NIC-based
+// reduction extension).
+func (n *NIC) SetFirmware(fw Firmware) { n.firmware = fw }
+
+// Deliver injects a host-built packet into the NIC as if it had arrived
+// from the wire; the control program charges normal processing costs and
+// offers it to the firmware. The NIC-based reduction uses this to
+// deposit the host's own contribution into NIC memory.
+func (n *NIC) Deliver(pkt *Packet) {
+	pkt.SrcNode = n.node
+	n.evQ.Put(nicEvent{recv: pkt})
+}
+
+// DeliverToHost places a firmware-built packet onto the host receive
+// queue, bypassing firmware re-processing but respecting receive
+// tokens. Must be called from NIC-process context.
+func (n *NIC) DeliverToHost(p *sim.Proc, pkt *Packet) {
+	n.deliverToHost(p, pkt)
+}
+
+// ForwardFromNIC sends a firmware-built packet onto the wire, charging
+// LANai processing. Must be called from NIC-process context with the
+// control program's proc.
+func (n *NIC) ForwardFromNIC(p *sim.Proc, pkt *Packet) {
+	p.Sleep(n.cm.NICPkt(len(pkt.Data)))
+	pkt.SrcNode = n.node
+	n.fab.Send(fabric.Frame{Src: n.node, Dst: pkt.DstNode, Size: pkt.WireSize(), Payload: pkt})
+	n.stats.Sent++
+	n.stats.BytesSent += uint64(pkt.WireSize())
+}

@@ -1,0 +1,116 @@
+// Package gm rebuilds the GM user-level message-passing layer the paper
+// runs on: a programmable NIC (the LANai "control program") reachable
+// from user space without kernel involvement, send/receive tokens,
+// registered (pinned) memory, and — the paper's §V-A modification — a
+// collective packet type for which the NIC can raise a host signal while
+// signals are enabled.
+package gm
+
+// PacketType distinguishes GM wire packets. Eager, RTS, CTS and Data
+// implement the two MPICH-over-GM send modes (§III); Collective is the
+// packet type the paper adds for application-bypass messages (§V-A).
+type PacketType uint8
+
+const (
+	// Eager carries a complete small message copied through pre-pinned
+	// bounce buffers.
+	Eager PacketType = iota
+	// RendezvousRTS announces a large message pinned in place at the
+	// sender.
+	RendezvousRTS
+	// RendezvousCTS tells the sender the receive buffer is pinned and
+	// the transfer may proceed.
+	RendezvousCTS
+	// RendezvousData carries the body of a rendezvous message.
+	RendezvousData
+	// Collective marks application-bypass collective traffic: the only
+	// packet type for which the NIC raises a signal (§V-A).
+	Collective
+	// CollectiveRTS and CollectiveData extend the collective type to
+	// rendezvous-sized payloads — the rendezvous-mode application
+	// bypass the paper left as future work (§V-B: "We have not yet
+	// investigated a rendezvous-mode implementation"). Both raise host
+	// signals like Collective, so a parent computing through a late
+	// large child still reacts asynchronously at every protocol step.
+	CollectiveRTS
+	CollectiveCTS
+	CollectiveData
+	// NICCollective marks traffic of the NIC-based reduction extension
+	// (§VII future work, refs [9–11]): the LANai control program itself
+	// combines contributions, so these packets are consumed by NIC
+	// firmware and, except for final results, never reach the host.
+	NICCollective
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t PacketType) String() string {
+	switch t {
+	case Eager:
+		return "eager"
+	case RendezvousRTS:
+		return "rts"
+	case RendezvousCTS:
+		return "cts"
+	case RendezvousData:
+		return "data"
+	case Collective:
+		return "collective"
+	case CollectiveRTS:
+		return "collective-rts"
+	case CollectiveCTS:
+		return "collective-cts"
+	case CollectiveData:
+		return "collective-data"
+	case NICCollective:
+		return "nic-collective"
+	}
+	return "unknown"
+}
+
+// headerBytes is the wire overhead charged per packet (GM header plus the
+// MPICH envelope).
+const headerBytes = 48
+
+// Packet is a GM message. The envelope fields (Ctx, Tag, SrcRank) belong
+// to the MPI layer; the collective header (Root, Seq) is the paper's
+// addition, used by the asynchronous reduction logic to identify the
+// reduction instance a late message belongs to (§IV-D) and to let the
+// progress engine detect "current process is the root" (Fig. 4).
+type Packet struct {
+	Type             PacketType
+	SrcNode, DstNode int
+
+	// MPI envelope.
+	Ctx     uint16
+	Tag     int32
+	SrcRank int32
+
+	// Collective header.
+	Root int32
+	Seq  uint64
+
+	// Rendezvous protocol fields.
+	Handle   uint64 // matches CTS/Data to the posted rendezvous
+	TotalLen int    // full message length announced by an RTS
+
+	// NIC-based reduction fields: the firmware needs the operator and
+	// element type to combine contributions in NIC memory.
+	AuxOp uint8
+	AuxDT uint8
+
+	// Data is the payload as it sits in NIC / bounce-buffer memory.
+	Data []byte
+}
+
+// WireSize returns the bytes the packet occupies on the link.
+func (pkt *Packet) WireSize() int { return headerBytes + len(pkt.Data) }
+
+// IsCollective reports whether the packet belongs to the
+// application-bypass family for which the NIC may raise signals.
+func (pkt *Packet) IsCollective() bool {
+	switch pkt.Type {
+	case Collective, CollectiveRTS, CollectiveCTS, CollectiveData:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+package model
+
+import "time"
+
+// Costs holds the tunable base constants of the cost model, calibrated to
+// a 1 GHz Pentium-III host, 133 MHz LANai 9.1 NIC and Myrinet-2000 wire
+// unless noted. Per-node values are derived by scaling with the node's
+// clock ratios (see CostModel). The defaults reproduce small-message GM
+// one-way latencies of roughly 6–8 µs, in line with GM-over-Myrinet-2000
+// measurements of the period.
+type Costs struct {
+	// Host side.
+	HostCopyMBps    float64       // memcpy bandwidth at 1 GHz
+	HostSendOvh     time.Duration // per-send library overhead at 1 GHz
+	HostRecvOvh     time.Duration // per-receive library/matching overhead at 1 GHz
+	ReducePerElem   time.Duration // arithmetic per double-word element at 1 GHz
+	SignalOvh       time.Duration // kernel signal delivery + dispatch at 1 GHz
+	SignalIgnored   time.Duration // trap cost of a signal found redundant (progress already ran)
+	SignalDelay     time.Duration // latency from NIC raise to handler start (batches arrivals)
+	PollIter        time.Duration // one pass of the progress-engine poll loop at 1 GHz
+	PinBase         time.Duration // mlock-style syscall base cost (rendezvous)
+	PinPerKB        time.Duration // incremental pinning cost per KB
+	DescriptorOvh   time.Duration // build/enqueue one reduce descriptor at 1 GHz
+	QueueSearchElem time.Duration // scan one queue entry during matching at 1 GHz
+
+	// NIC side.
+	NICPktOvh        time.Duration // LANai per-packet processing at 133 MHz
+	NICComputeFactor float64       // LANai arithmetic slowdown vs a 1 GHz host (no FPU)
+
+	// Interconnect.
+	WireMBps   float64       // Myrinet-2000 link bandwidth (2 Gb/s)
+	WireProp   time.Duration // cable propagation
+	SwitchHop  time.Duration // crossbar cut-through latency
+	MaxPayload int           // bytes per wire packet (GM MTU-ish)
+
+	// Protocol.
+	EagerThreshold int // bytes; larger messages use rendezvous
+}
+
+// DefaultCosts returns the calibrated base constants.
+func DefaultCosts() Costs {
+	return Costs{
+		HostCopyMBps:     570,
+		HostSendOvh:      900 * time.Nanosecond,
+		HostRecvOvh:      900 * time.Nanosecond,
+		ReducePerElem:    6 * time.Nanosecond,
+		SignalOvh:        10 * time.Microsecond,
+		SignalIgnored:    5 * time.Microsecond,
+		SignalDelay:      6 * time.Microsecond,
+		PollIter:         150 * time.Nanosecond,
+		PinBase:          25 * time.Microsecond,
+		PinPerKB:         700 * time.Nanosecond,
+		DescriptorOvh:    500 * time.Nanosecond,
+		QueueSearchElem:  40 * time.Nanosecond,
+		NICPktOvh:        2000 * time.Nanosecond,
+		NICComputeFactor: 16,
+		WireMBps:         250, // 2 Gb/s
+		WireProp:         300 * time.Nanosecond,
+		SwitchHop:        500 * time.Nanosecond,
+		MaxPayload:       4096,
+		EagerThreshold:   16 * 1024,
+	}
+}
+
+// CostModel binds the global cost constants to one node's hardware and
+// answers "how long does operation X take on this node" in virtual time.
+type CostModel struct {
+	Spec NodeSpec
+	C    Costs
+}
+
+// NewCostModel builds a per-node cost model.
+func NewCostModel(spec NodeSpec, c Costs) CostModel {
+	return CostModel{Spec: spec, C: c}
+}
+
+// HostCopy returns the time for the host CPU to copy n bytes.
+func (m CostModel) HostCopy(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	perByte := float64(time.Second) / (m.C.HostCopyMBps * 1e6)
+	return dur(time.Duration(perByte*float64(n)), m.Spec.cpuScale())
+}
+
+// HostSendOvh returns the per-send host library overhead.
+func (m CostModel) HostSendOvh() time.Duration {
+	return dur(m.C.HostSendOvh, m.Spec.cpuScale())
+}
+
+// HostRecvOvh returns the per-receive host matching overhead.
+func (m CostModel) HostRecvOvh() time.Duration {
+	return dur(m.C.HostRecvOvh, m.Spec.cpuScale())
+}
+
+// ReduceOp returns the time to combine n elements of size elemSize bytes
+// with an arithmetic reduction operator.
+func (m CostModel) ReduceOp(n, elemSize int) time.Duration {
+	per := float64(m.C.ReducePerElem) * float64(elemSize) / 8.0
+	return dur(time.Duration(per*float64(n)), m.Spec.cpuScale())
+}
+
+// SignalOvh returns the cost of one NIC-raised signal reaching the
+// application: kernel trap, handler dispatch, cache disturbance.
+func (m CostModel) SignalOvh() time.Duration {
+	return dur(m.C.SignalOvh, m.Spec.cpuScale())
+}
+
+// SignalIgnoredOvh returns the trap cost of a signal whose handler finds
+// nothing to do because progress was already underway (§V-C: "if a signal
+// happens to occur while progress is already underway, it is simply
+// ignored" — the kernel still delivered it).
+func (m CostModel) SignalIgnoredOvh() time.Duration {
+	return dur(m.C.SignalIgnored, m.Spec.cpuScale())
+}
+
+// PollIter returns the cost of one idle pass of the progress engine's
+// poll loop; blocking receives burn this continuously.
+func (m CostModel) PollIter() time.Duration {
+	return dur(m.C.PollIter, m.Spec.cpuScale())
+}
+
+// Pin returns the cost of registering n bytes for DMA (rendezvous mode).
+func (m CostModel) Pin(n int) time.Duration {
+	return m.C.PinBase + time.Duration(float64(m.C.PinPerKB)*float64(n)/1024)
+}
+
+// DescriptorOvh returns the cost of building and enqueuing one
+// application-bypass reduce descriptor.
+func (m CostModel) DescriptorOvh() time.Duration {
+	return dur(m.C.DescriptorOvh, m.Spec.cpuScale())
+}
+
+// QueueSearch returns the cost of scanning n queue entries while
+// matching a message.
+func (m CostModel) QueueSearch(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return dur(time.Duration(int64(m.C.QueueSearchElem)*int64(n)), m.Spec.cpuScale())
+}
+
+// NICPkt returns the LANai control-program time to process one packet of
+// n payload bytes, including the PCI DMA between host and NIC memory.
+func (m CostModel) NICPkt(n int) time.Duration {
+	dma := time.Duration(0)
+	if n > 0 {
+		perByte := float64(time.Second) / (m.Spec.PCIMBps * 1e6)
+		dma = time.Duration(perByte * float64(n))
+	}
+	return dur(m.C.NICPktOvh, m.Spec.lanaiScale()) + dma
+}
+
+// NICReduceOp returns the LANai control program's time to combine n
+// elements of size elemSize. The LANai has no floating-point unit, so
+// arithmetic runs NICComputeFactor times slower than on a 1 GHz host,
+// further scaled by the NIC clock.
+func (m CostModel) NICReduceOp(n, elemSize int) time.Duration {
+	per := float64(m.C.ReducePerElem) * float64(elemSize) / 8.0 * m.C.NICComputeFactor
+	return dur(time.Duration(per*float64(n)), m.Spec.lanaiScale())
+}
+
+// WireTime returns link serialization plus propagation for n bytes on
+// one hop (switch latency is charged separately by the fabric).
+func (m CostModel) WireTime(n int) time.Duration {
+	perByte := float64(time.Second) / (m.C.WireMBps * 1e6)
+	return m.C.WireProp + time.Duration(perByte*float64(n))
+}

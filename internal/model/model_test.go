@@ -1,0 +1,140 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPaperCluster32Layout(t *testing.T) {
+	specs := PaperCluster32()
+	if len(specs) != 32 {
+		t.Fatalf("len = %d", len(specs))
+	}
+	n700, n64c, n64b1g := 0, 0, 0
+	for i, s := range specs {
+		if i%2 == 0 {
+			if s != PIII700PCI64B {
+				t.Errorf("slot %d: %+v, want 700 MHz class (interlaced)", i, s)
+			}
+			n700++
+			continue
+		}
+		switch s {
+		case PIII1GPCI64C:
+			n64c++
+		case PIII1GPCI64B:
+			n64b1g++
+		default:
+			t.Errorf("slot %d unexpected class %+v", i, s)
+		}
+	}
+	if n700 != 16 || n64c != 4 || n64b1g != 12 {
+		t.Fatalf("mix = %d/%d/%d, want 16 quad-700, 4 PCI64C, 12 PCI64B 1 GHz", n700, n64c, n64b1g)
+	}
+}
+
+func TestPaperClusterPrefixAndExtension(t *testing.T) {
+	if got := len(PaperCluster(8)); got != 8 {
+		t.Errorf("PaperCluster(8) has %d nodes", got)
+	}
+	big := PaperCluster(100)
+	if len(big) != 100 {
+		t.Fatalf("extension length %d", len(big))
+	}
+	for i := 0; i < 100; i++ {
+		if big[i] != PaperCluster32()[i%32] {
+			t.Fatalf("extension does not replicate the interlaced mix at %d", i)
+		}
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	for _, s := range Homogeneous700(16) {
+		if s.CPUMHz != 700 {
+			t.Fatal("Homogeneous700 not homogeneous")
+		}
+	}
+	for _, s := range Homogeneous1G(4) {
+		if s.CPUMHz != 1000 {
+			t.Fatal("Homogeneous1G not homogeneous")
+		}
+	}
+}
+
+func TestCPUScaling(t *testing.T) {
+	c := DefaultCosts()
+	slow := NewCostModel(PIII700PCI64B, c)
+	fast := NewCostModel(PIII1GPCI64B, c)
+	ratio := float64(slow.HostSendOvh()) / float64(fast.HostSendOvh())
+	if ratio < 1.41 || ratio > 1.45 {
+		t.Errorf("700 MHz host cost ratio = %.3f, want ≈ 1000/700", ratio)
+	}
+	if slow.ReduceOp(100, 8) <= fast.ReduceOp(100, 8) {
+		t.Error("reduce op must be slower on the slower host")
+	}
+	if slow.SignalOvh() <= fast.SignalOvh() {
+		t.Error("signal cost must scale with host speed")
+	}
+}
+
+func TestPCIScaling(t *testing.T) {
+	c := DefaultCosts()
+	fastPCI := NewCostModel(PIII700PCI64B, c) // 528 MB/s
+	slowPCI := NewCostModel(PIII1GPCI64B, c)  // 132 MB/s
+	if slowPCI.NICPkt(4096) <= fastPCI.NICPkt(4096) {
+		t.Error("DMA over the slow PCI bus must cost more")
+	}
+	// Zero-byte packets cost only LANai processing, equal at 133 MHz.
+	if slowPCI.NICPkt(0) != fastPCI.NICPkt(0) {
+		t.Error("no-payload packet cost should not depend on PCI")
+	}
+}
+
+func TestLANaiScaling(t *testing.T) {
+	c := DefaultCosts()
+	l133 := NewCostModel(PIII1GPCI64B, c)
+	l200 := NewCostModel(PIII1GPCI64C, c)
+	if l200.NICPkt(0) >= l133.NICPkt(0) {
+		t.Error("200 MHz LANai must process packets faster")
+	}
+	if l200.NICReduceOp(64, 8) >= l133.NICReduceOp(64, 8) {
+		t.Error("200 MHz LANai must compute faster")
+	}
+}
+
+func TestCostMonotonicity(t *testing.T) {
+	m := NewCostModel(PIII1GPCI64B, DefaultCosts())
+	if m.HostCopy(1000) <= m.HostCopy(100) {
+		t.Error("copy cost must grow with size")
+	}
+	if m.Pin(1<<20) <= m.Pin(1<<10) {
+		t.Error("pin cost must grow with size")
+	}
+	if m.QueueSearch(10) <= m.QueueSearch(1) {
+		t.Error("queue search must grow with depth")
+	}
+	if m.HostCopy(0) != 0 || m.QueueSearch(0) != 0 {
+		t.Error("zero-size operations must be free")
+	}
+	if m.WireTime(4096) <= m.WireTime(0) {
+		t.Error("wire time must grow with size")
+	}
+}
+
+func TestNICComputeSlowerThanHost(t *testing.T) {
+	m := NewCostModel(PIII1GPCI64B, DefaultCosts())
+	if m.NICReduceOp(128, 8) <= m.ReduceOp(128, 8) {
+		t.Error("the FPU-less LANai must be slower than the host at arithmetic")
+	}
+}
+
+func TestGMLatencyBallpark(t *testing.T) {
+	// The calibrated model should land small-message one-way latency in
+	// GM-over-Myrinet-2000 territory (§III: a few microseconds).
+	m := NewCostModel(PIII1GPCI64B, DefaultCosts())
+	oneWay := m.HostSendOvh() + m.HostCopy(64) + m.NICPkt(64) +
+		m.WireTime(64+48) + DefaultCosts().SwitchHop + m.NICPkt(64) + m.HostRecvOvh()
+	if oneWay < 4*time.Microsecond || oneWay > 12*time.Microsecond {
+		t.Errorf("one-way small-message latency %v outside the 4–12 µs GM ballpark", oneWay)
+	}
+}

@@ -1,0 +1,117 @@
+// Package model captures the hardware of the paper's testbed as a virtual
+// time cost model.
+//
+// The paper's cluster (§VI) mixes two node classes connected by a
+// Myrinet-2000 network:
+//
+//   - 16× quad-SMP 700 MHz Pentium-III, 66 MHz/64-bit PCI, PCI64B NIC
+//     with a 133 MHz LANai 9.1 processor, and
+//   - 16× dual-SMP 1 GHz Pentium-III, 33 MHz/32-bit PCI; four of these
+//     carry PCI64C NICs with 200 MHz LANai 9.2, the rest PCI64B/9.1.
+//
+// Only one processor per node is used, so SMP width is irrelevant; what
+// matters — and what the model captures — is the relative speed of host
+// CPU, PCI bus, and NIC processor, because those set message latencies,
+// copy costs and signal overheads.
+package model
+
+import "time"
+
+// NodeSpec describes one node's hardware.
+type NodeSpec struct {
+	Class    string  // human-readable class name
+	CPUMHz   int     // host processor clock
+	PCIMBps  float64 // PCI bus bandwidth available for NIC DMA, MB/s
+	LANaiMHz int     // NIC processor clock
+}
+
+// The paper's node classes. PCI theoretical bandwidths: 66 MHz × 64 bit =
+// 528 MB/s, 33 MHz × 32 bit = 132 MB/s.
+var (
+	// PIII700PCI64B is the 700 MHz class: slower host, faster PCI.
+	PIII700PCI64B = NodeSpec{Class: "piii-700/pci64b", CPUMHz: 700, PCIMBps: 528, LANaiMHz: 133}
+	// PIII1GPCI64B is the 1 GHz class with the common PCI64B NIC:
+	// faster host, slower PCI.
+	PIII1GPCI64B = NodeSpec{Class: "piii-1g/pci64b", CPUMHz: 1000, PCIMBps: 132, LANaiMHz: 133}
+	// PIII1GPCI64C is the 1 GHz class with the PCI64C NIC (200 MHz
+	// LANai 9.2); the paper had four of these.
+	PIII1GPCI64C = NodeSpec{Class: "piii-1g/pci64c", CPUMHz: 1000, PCIMBps: 132, LANaiMHz: 200}
+)
+
+// PaperCluster32 returns the paper's 32-node heterogeneous testbed with
+// the two 16-node groups interlaced, exactly as the machine list in §VI
+// ("the nodes from each of the two groups of 16 are interlaced"). The
+// four PCI64C cards sit in the first four 1 GHz slots.
+func PaperCluster32() []NodeSpec {
+	specs := make([]NodeSpec, 32)
+	fast := 0
+	for i := range specs {
+		if i%2 == 0 {
+			specs[i] = PIII700PCI64B
+		} else {
+			if fast < 4 {
+				specs[i] = PIII1GPCI64C
+				fast++
+			} else {
+				specs[i] = PIII1GPCI64B
+			}
+		}
+	}
+	return specs
+}
+
+// PaperCluster returns the first n nodes of the interlaced 32-node list,
+// matching how the paper scales system size (2, 4, 8, 16, 32).
+func PaperCluster(n int) []NodeSpec {
+	all := PaperCluster32()
+	if n > len(all) {
+		extra := make([]NodeSpec, n)
+		for i := range extra {
+			extra[i] = all[i%len(all)]
+		}
+		return extra
+	}
+	return all[:n]
+}
+
+// Homogeneous700 returns the homogeneous 16-node 700 MHz sub-cluster used
+// for Fig. 9(b).
+func Homogeneous700(n int) []NodeSpec {
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = PIII700PCI64B
+	}
+	return specs
+}
+
+// Homogeneous1G returns n identical 1 GHz/PCI64B nodes.
+func Homogeneous1G(n int) []NodeSpec {
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = PIII1GPCI64B
+	}
+	return specs
+}
+
+// Uniform returns n idealized identical nodes (fast host, fast PCI); use
+// for correctness tests where hardware variation is noise.
+func Uniform(n int) []NodeSpec {
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = NodeSpec{Class: "uniform", CPUMHz: 1000, PCIMBps: 528, LANaiMHz: 200}
+	}
+	return specs
+}
+
+// cpuScale returns the factor by which 1 GHz-calibrated host costs grow
+// on this node.
+func (s NodeSpec) cpuScale() float64 { return 1000 / float64(s.CPUMHz) }
+
+// lanaiScale returns the factor by which 133 MHz-calibrated NIC costs
+// grow on this node.
+func (s NodeSpec) lanaiScale() float64 { return 133 / float64(s.LANaiMHz) }
+
+// dur scales a base duration by f.
+func dur(base time.Duration, f float64) time.Duration {
+	return time.Duration(float64(base) * f)
+}

@@ -1,0 +1,99 @@
+package mpi
+
+import "fmt"
+
+// CtxKind separates traffic classes within one communicator. MPICH keeps
+// distinct context ids for point-to-point and collective communication so
+// a collective message can never match an application receive; we go one
+// step further and give each collective kind its own context, which keeps
+// back-to-back different collectives from interfering.
+type CtxKind uint16
+
+// Context kinds within a communicator.
+const (
+	CtxP2P CtxKind = iota
+	CtxReduce
+	CtxBcast
+	CtxBarrier
+	CtxGather
+	CtxScatter
+	CtxAllgather
+	CtxScan
+	CtxAlltoall
+	// CtxIReduce carries split-phase (IReduce) traffic. It is separate
+	// from CtxReduce so the progress engine can tell how a packet
+	// addressed to the root must be handled: blocking reductions keep
+	// the paper's Fig. 4 semantics (root packets take the default
+	// MPICH path), while split-phase root packets belong to the
+	// descriptor machinery.
+	CtxIReduce
+	nCtxKinds
+)
+
+// KindOfCtx recovers the traffic class from a concrete context id
+// (communicator bases are multiples of nCtxKinds).
+func KindOfCtx(ctx uint16) CtxKind { return CtxKind(ctx % uint16(nCtxKinds)) }
+
+// Comm is a communicator: a rank space plus isolated context ids.
+type Comm struct {
+	pr   *Process
+	base uint16
+	seqs [nCtxKinds]uint64
+}
+
+// World returns the world communicator for a process.
+func World(pr *Process) *Comm { return &Comm{pr: pr, base: 0} }
+
+// Dup returns a communicator with fresh context ids over the same ranks
+// (MPI_Comm_dup). n counts previously created communicators.
+func (c *Comm) Dup(n int) *Comm {
+	return &Comm{pr: c.pr, base: uint16((n + 1) * int(nCtxKinds))}
+}
+
+// Rank returns the calling process's rank.
+func (c *Comm) Rank() int { return c.pr.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.pr.size }
+
+// Proc exposes the underlying process to the collective layers.
+func (c *Comm) Proc() *Process { return c.pr }
+
+// Ctx returns the concrete context id for a traffic class.
+func (c *Comm) Ctx(kind CtxKind) uint16 { return c.base + uint16(kind) }
+
+// NextSeq returns a fresh collective instance number for a traffic
+// class. Every rank calls collectives in the same order (an MPI
+// requirement), so per-rank counters agree globally.
+func (c *Comm) NextSeq(kind CtxKind) uint64 {
+	s := c.seqs[kind]
+	c.seqs[kind]++
+	return s
+}
+
+// CurSeq reports the next sequence number without consuming it.
+func (c *Comm) CurSeq(kind CtxKind) uint64 { return c.seqs[kind] }
+
+// Send is blocking point-to-point on the communicator's p2p context.
+func (c *Comm) Send(dst int, tag int32, data []byte) {
+	c.pr.Send(SendArgs{Dst: dst, Ctx: c.Ctx(CtxP2P), Tag: tag, Data: data})
+}
+
+// Isend is the non-blocking form of Send.
+func (c *Comm) Isend(dst int, tag int32, data []byte) *Request {
+	return c.pr.Isend(SendArgs{Dst: dst, Ctx: c.Ctx(CtxP2P), Tag: tag, Data: data})
+}
+
+// Recv is blocking point-to-point receive on the p2p context.
+func (c *Comm) Recv(src int, tag int32, buf []byte) Status {
+	return c.pr.Recv(c.Ctx(CtxP2P), src, tag, buf)
+}
+
+// Irecv is the non-blocking form of Recv.
+func (c *Comm) Irecv(src int, tag int32, buf []byte) *Request {
+	return c.pr.Irecv(c.Ctx(CtxP2P), src, tag, buf)
+}
+
+func (c *Comm) String() string {
+	return fmt.Sprintf("comm(base=%d, %s)", c.base, c.pr)
+}

@@ -1,0 +1,94 @@
+package mpi
+
+import "testing"
+
+// Comm's methods are exercised heavily from the collective packages;
+// these tests pin their contracts within the package itself.
+
+func TestCommBasics(t *testing.T) {
+	runRanks(t, 3, func(pr *Process) {
+		w := World(pr)
+		if w.Rank() != pr.Rank() || w.Size() != 3 || w.Proc() != pr {
+			t.Errorf("comm identity wrong: %v", w)
+		}
+		if w.String() == "" || pr.String() == "" {
+			t.Error("empty String()")
+		}
+		if s0 := w.NextSeq(CtxReduce); s0 != 0 {
+			t.Errorf("first seq = %d", s0)
+		}
+		if w.CurSeq(CtxReduce) != 1 {
+			t.Error("CurSeq did not observe NextSeq")
+		}
+		if w.NextSeq(CtxBcast) != 0 {
+			t.Error("seq streams not independent per kind")
+		}
+	})
+}
+
+func TestCommIsendIrecv(t *testing.T) {
+	runRanks(t, 2, func(pr *Process) {
+		w := World(pr)
+		switch w.Rank() {
+		case 0:
+			w.Isend(1, 9, []byte{42}).Wait()
+		case 1:
+			buf := make([]byte, 1)
+			st := w.Irecv(0, 9, buf).Wait()
+			if st.Source != 0 || buf[0] != 42 {
+				t.Errorf("irecv got %v from %d", buf, st.Source)
+			}
+		}
+	})
+}
+
+func TestRebind(t *testing.T) {
+	runRanks(t, 1, func(pr *Process) {
+		old := pr.P
+		pr.Rebind(old) // same proc: must be a no-op rebind
+		if pr.P != old {
+			t.Error("rebind lost the proc")
+		}
+	})
+}
+
+func TestDatatypeAndOpStrings(t *testing.T) {
+	for _, d := range []Datatype{Byte, Int32, Int64, Uint64, Float32, Float64} {
+		if d.String() == "" || d.String() == "unknown" {
+			t.Errorf("datatype %d has bad name %q", d, d.String())
+		}
+	}
+	for _, op := range []Op{OpSum, OpProd, OpMax, OpMin, OpLAnd, OpLOr, OpBAnd, OpBOr, OpBXor} {
+		if op.String() == "" || op.String() == "unknown" {
+			t.Errorf("op %d has bad name %q", op, op.String())
+		}
+	}
+	if Op(99).String() != "unknown" || Datatype(99).String() != "unknown" {
+		t.Error("out-of-range names should be unknown")
+	}
+}
+
+func TestRequestStringForms(t *testing.T) {
+	runRanks(t, 2, func(pr *Process) {
+		if pr.Rank() != 0 {
+			pr.Recv(0, 0, 1, make([]byte, 1))
+			return
+		}
+		req := pr.Isend(SendArgs{Dst: 1, Ctx: 0, Tag: 1, Data: []byte{1}})
+		if req.String() == "" {
+			t.Error("empty request string")
+		}
+	})
+}
+
+func TestStatusOnIncompletePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	runRanks(t, 1, func(pr *Process) {
+		req := pr.Irecv(0, 0, 99, make([]byte, 1))
+		req.Status() // incomplete: must panic
+	})
+}

@@ -1,0 +1,287 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Op is a reduction operator. All provided operators are associative and
+// commutative, which lets the tree algorithms combine children in
+// arrival order (the property the application-bypass implementation
+// depends on: asynchronous processing combines children in whatever
+// order their messages arrive).
+type Op int
+
+// Supported reduction operators.
+const (
+	OpSum Op = iota
+	OpProd
+	OpMax
+	OpMin
+	OpLAnd // logical and (nonzero = true)
+	OpLOr  // logical or
+	OpBAnd // bitwise and (integer types)
+	OpBOr  // bitwise or
+	OpBXor // bitwise xor
+)
+
+// String implements fmt.Stringer.
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpProd:
+		return "prod"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	case OpLAnd:
+		return "land"
+	case OpLOr:
+		return "lor"
+	case OpBAnd:
+		return "band"
+	case OpBOr:
+		return "bor"
+	case OpBXor:
+		return "bxor"
+	}
+	return "unknown"
+}
+
+// ValidFor reports whether the operator is defined for datatype d
+// (bitwise operators require integer types).
+func (op Op) ValidFor(d Datatype) bool {
+	switch op {
+	case OpBAnd, OpBOr, OpBXor:
+		return d == Byte || d == Int32 || d == Int64 || d == Uint64
+	default:
+		return true
+	}
+}
+
+// number covers the arithmetic element types the generic kernels handle.
+type number interface {
+	~int32 | ~int64 | ~uint64 | ~uint8 | ~float32 | ~float64
+}
+
+// combine applies op elementwise: dst[i] = dst[i] op src[i].
+func combine[T number](op Op, dst, src []T) {
+	switch op {
+	case OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpProd:
+		for i := range dst {
+			dst[i] *= src[i]
+		}
+	case OpMax:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case OpMin:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case OpLAnd:
+		for i := range dst {
+			dst[i] = boolToT[T](dst[i] != 0 && src[i] != 0)
+		}
+	case OpLOr:
+		for i := range dst {
+			dst[i] = boolToT[T](dst[i] != 0 || src[i] != 0)
+		}
+	default:
+		panic(fmt.Sprintf("mpi: operator %v not handled by arithmetic kernel", op))
+	}
+}
+
+func boolToT[T number](b bool) T {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// combineBits applies a bitwise operator on unsigned words.
+func combineBits(op Op, dst, src []uint64) {
+	switch op {
+	case OpBAnd:
+		for i := range dst {
+			dst[i] &= src[i]
+		}
+	case OpBOr:
+		for i := range dst {
+			dst[i] |= src[i]
+		}
+	case OpBXor:
+		for i := range dst {
+			dst[i] ^= src[i]
+		}
+	default:
+		panic(fmt.Sprintf("mpi: operator %v is not bitwise", op))
+	}
+}
+
+// Apply combines count elements of type d: dst = dst op src, in place in
+// dst. Both buffers must hold at least count elements.
+func Apply(op Op, d Datatype, dst, src []byte, count int) {
+	n := count * d.Size()
+	if len(dst) < n || len(src) < n {
+		panic(fmt.Sprintf("mpi: Apply buffer too small: need %d, have dst=%d src=%d", n, len(dst), len(src)))
+	}
+	if !op.ValidFor(d) {
+		panic(fmt.Sprintf("mpi: operator %v undefined for %v", op, d))
+	}
+	switch op {
+	case OpBAnd, OpBOr, OpBXor:
+		applyBitwise(op, d, dst[:n], src[:n])
+		return
+	}
+	switch d {
+	case Float64:
+		a, b := BytesToFloat64s(dst[:n]), BytesToFloat64s(src[:n])
+		combine(op, a, b)
+		copy(dst, Float64sToBytes(a))
+	case Float32:
+		a, b := BytesToFloat32s(dst[:n]), BytesToFloat32s(src[:n])
+		combine(op, a, b)
+		copy(dst, Float32sToBytes(a))
+	case Int32:
+		a, b := BytesToInt32s(dst[:n]), BytesToInt32s(src[:n])
+		combine(op, a, b)
+		copy(dst, Int32sToBytes(a))
+	case Int64:
+		a, b := BytesToInt64s(dst[:n]), BytesToInt64s(src[:n])
+		combine(op, a, b)
+		copy(dst, Int64sToBytes(a))
+	case Uint64:
+		a, b := BytesToUint64s(dst[:n]), BytesToUint64s(src[:n])
+		combine(op, a, b)
+		copy(dst, Uint64sToBytes(a))
+	case Byte:
+		a := dst[:n]
+		b := src[:n]
+		combine(op, a, b)
+	default:
+		panic(fmt.Sprintf("mpi: unknown datatype %v", d))
+	}
+}
+
+// applyBitwise handles the bitwise operators for all integer widths by
+// widening to uint64 words elementwise.
+func applyBitwise(op Op, d Datatype, dst, src []byte) {
+	switch d {
+	case Byte:
+		for i := range dst {
+			switch op {
+			case OpBAnd:
+				dst[i] &= src[i]
+			case OpBOr:
+				dst[i] |= src[i]
+			case OpBXor:
+				dst[i] ^= src[i]
+			}
+		}
+	case Int32:
+		for i := 0; i+4 <= len(dst); i += 4 {
+			a := binary.LittleEndian.Uint32(dst[i:])
+			b := binary.LittleEndian.Uint32(src[i:])
+			switch op {
+			case OpBAnd:
+				a &= b
+			case OpBOr:
+				a |= b
+			case OpBXor:
+				a ^= b
+			}
+			binary.LittleEndian.PutUint32(dst[i:], a)
+		}
+	case Int64, Uint64:
+		a := BytesToUint64s(dst)
+		b := BytesToUint64s(src)
+		combineBits(op, a, b)
+		copy(dst, Uint64sToBytes(a))
+	default:
+		panic(fmt.Sprintf("mpi: bitwise op on non-integer type %v", d))
+	}
+}
+
+// Identity returns the operator's identity element encoded for d, useful
+// for initializing accumulators.
+func Identity(op Op, d Datatype) []byte {
+	buf := make([]byte, d.Size())
+	var v float64
+	switch op {
+	case OpSum, OpBOr, OpBXor, OpLOr:
+		v = 0
+	case OpProd, OpLAnd:
+		v = 1
+	case OpMax:
+		v = math.Inf(-1)
+	case OpMin:
+		v = math.Inf(1)
+	case OpBAnd:
+		v = -1 // all ones for integer types
+	}
+	switch d {
+	case Float64:
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+	case Float32:
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(float32(v)))
+	case Int32:
+		iv := int32(0)
+		switch op {
+		case OpProd, OpLAnd:
+			iv = 1
+		case OpMax:
+			iv = math.MinInt32
+		case OpMin:
+			iv = math.MaxInt32
+		case OpBAnd:
+			iv = -1
+		}
+		binary.LittleEndian.PutUint32(buf, uint32(iv))
+	case Int64:
+		iv := int64(0)
+		switch op {
+		case OpProd, OpLAnd:
+			iv = 1
+		case OpMax:
+			iv = math.MinInt64
+		case OpMin:
+			iv = math.MaxInt64
+		case OpBAnd:
+			iv = -1
+		}
+		binary.LittleEndian.PutUint64(buf, uint64(iv))
+	case Uint64:
+		uv := uint64(0)
+		switch op {
+		case OpProd, OpLAnd:
+			uv = 1
+		case OpMax:
+			uv = 0
+		case OpMin, OpBAnd:
+			uv = math.MaxUint64
+		}
+		binary.LittleEndian.PutUint64(buf, uv)
+	case Byte:
+		bv := byte(0)
+		switch op {
+		case OpProd, OpLAnd:
+			bv = 1
+		case OpMin, OpBAnd:
+			bv = 0xFF
+		}
+		buf[0] = bv
+	}
+	return buf
+}

@@ -1,0 +1,46 @@
+package mpi
+
+// Iprobe checks, without blocking or consuming, whether a message
+// matching (ctx, src, tag) could be received. It drives one progress
+// pass first, so a packet already delivered by the NIC is visible.
+func (pr *Process) Iprobe(ctx uint16, src int, tag int32) (Status, bool) {
+	pr.ProgressPoll()
+	pr.P.Spin(pr.CM.QueueSearch(len(pr.unexpected)))
+	for _, m := range pr.unexpected {
+		if !m.matches(ctx, src, tag) {
+			continue
+		}
+		count := len(m.data)
+		if m.rts != nil {
+			count = m.rts.TotalLen
+		}
+		return Status{Source: int(m.srcRank), Tag: m.tag, Count: count}, true
+	}
+	return Status{}, false
+}
+
+// Probe blocks (burning CPU, like all MPICH waits) until a matching
+// message is available, returning its envelope without consuming it.
+func (pr *Process) Probe(ctx uint16, src int, tag int32) Status {
+	for {
+		if st, ok := pr.Iprobe(ctx, src, tag); ok {
+			return st
+		}
+		t0 := pr.P.Now()
+		pkt := pr.nic.Recv(pr.P)
+		waited := pr.P.Now() - t0
+		pr.P.AddBusy(waited)
+		pr.Stats.PollBusy += waited
+		pr.handlePacket(pkt)
+	}
+}
+
+// Sendrecv executes a send and a receive concurrently — the deadlock-
+// free exchange primitive MPI programs use for halo swaps.
+func (pr *Process) Sendrecv(sendArgs SendArgs, recvCtx uint16, recvSrc int, recvTag int32, recvBuf []byte) Status {
+	rreq := pr.Irecv(recvCtx, recvSrc, recvTag, recvBuf)
+	sreq := pr.Isend(sendArgs)
+	st := rreq.Wait()
+	sreq.Wait()
+	return st
+}

@@ -1,0 +1,123 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIprobeAndProbe(t *testing.T) {
+	runRanks(t, 2, func(pr *Process) {
+		switch pr.Rank() {
+		case 0:
+			pr.P.Sleep(100 * time.Microsecond)
+			pr.Send(SendArgs{Dst: 1, Ctx: 0, Tag: 3, Data: []byte{1, 2, 3, 4}})
+		case 1:
+			if _, ok := pr.Iprobe(0, 0, 3); ok {
+				t.Error("Iprobe true before any send")
+			}
+			st := pr.Probe(0, 0, 3)
+			if st.Source != 0 || st.Tag != 3 || st.Count != 4 {
+				t.Errorf("probe status %+v", st)
+			}
+			// Probe must not consume: the receive still works.
+			if _, ok := pr.Iprobe(0, 0, 3); !ok {
+				t.Error("probe consumed the message")
+			}
+			buf := make([]byte, 4)
+			pr.Recv(0, 0, 3, buf)
+			if buf[3] != 4 {
+				t.Errorf("payload after probe: %v", buf)
+			}
+			if _, ok := pr.Iprobe(0, 0, 3); ok {
+				t.Error("message still probeable after receive")
+			}
+		}
+	})
+}
+
+func TestProbeRendezvousReportsFullLength(t *testing.T) {
+	big := make([]byte, 20000)
+	runRanks(t, 2, func(pr *Process) {
+		switch pr.Rank() {
+		case 0:
+			pr.Send(SendArgs{Dst: 1, Ctx: 0, Tag: 1, Data: big})
+		case 1:
+			pr.P.Sleep(300 * time.Microsecond)
+			st := pr.Probe(0, 0, 1)
+			if st.Count != len(big) {
+				t.Errorf("probe of rendezvous RTS reports %d bytes, want %d", st.Count, len(big))
+			}
+			pr.Recv(0, 0, 1, make([]byte, len(big)))
+		}
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	runRanks(t, 2, func(pr *Process) {
+		peer := 1 - pr.Rank()
+		out := []byte{byte(10 + pr.Rank())}
+		in := make([]byte, 1)
+		st := pr.Sendrecv(
+			SendArgs{Dst: peer, Ctx: 0, Tag: 7, Data: out},
+			0, peer, 7, in,
+		)
+		if st.Source != peer || in[0] != byte(10+peer) {
+			t.Errorf("rank %d sendrecv got %v from %d", pr.Rank(), in, st.Source)
+		}
+	})
+}
+
+func TestSendrecvRing(t *testing.T) {
+	const n = 5
+	runRanks(t, n, func(pr *Process) {
+		right := (pr.Rank() + 1) % n
+		left := (pr.Rank() - 1 + n) % n
+		in := make([]byte, 1)
+		pr.Sendrecv(SendArgs{Dst: right, Ctx: 0, Tag: 1, Data: []byte{byte(pr.Rank())}},
+			0, left, 1, in)
+		if in[0] != byte(left) {
+			t.Errorf("rank %d ring got %d, want %d", pr.Rank(), in[0], left)
+		}
+	})
+}
+
+func TestTruncationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected truncation panic")
+		}
+	}()
+	runRanks(t, 2, func(pr *Process) {
+		switch pr.Rank() {
+		case 0:
+			pr.Send(SendArgs{Dst: 1, Ctx: 0, Tag: 1, Data: make([]byte, 16)})
+		case 1:
+			pr.Recv(0, 0, 1, make([]byte, 4)) // too small
+		}
+	})
+}
+
+func TestCommDupIsolation(t *testing.T) {
+	runRanks(t, 2, func(pr *Process) {
+		w := World(pr)
+		d := w.Dup(0)
+		if d.Ctx(CtxP2P) == w.Ctx(CtxP2P) {
+			t.Fatal("dup shares context ids with world")
+		}
+		switch pr.Rank() {
+		case 0:
+			d.Send(1, 1, []byte{5})
+			w.Send(1, 1, []byte{6})
+		case 1:
+			buf := make([]byte, 1)
+			w.Recv(0, 1, buf)
+			if buf[0] != 6 {
+				t.Errorf("world recv got %d, want 6", buf[0])
+			}
+			d.Recv(0, 1, buf)
+			if buf[0] != 5 {
+				t.Errorf("dup recv got %d, want 5", buf[0])
+			}
+		}
+	})
+}

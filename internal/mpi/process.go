@@ -1,0 +1,147 @@
+// Package mpi rebuilds the slice of MPICH the paper modifies: ranks and
+// communicators, point-to-point messaging with eager and rendezvous
+// protocols over GM, posted-receive and unexpected queues, and an
+// application-driven communication progress engine with the
+// application-bypass pre-processing hook of Fig. 4.
+package mpi
+
+import (
+	"fmt"
+
+	"abred/internal/gm"
+	"abred/internal/model"
+	"abred/internal/sim"
+)
+
+// AnySource and AnyTag are receive wildcards.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ProcStats counts per-process messaging activity. The copy counters
+// back the paper's claim of 50% / 100% copy reductions (§V-B, §V-C).
+type ProcStats struct {
+	EagerSends      uint64
+	RendezvousSends uint64
+	ExpectedMsgs    uint64 // arrived after a matching receive was posted
+	UnexpectedMsgs  uint64 // buffered in the MPICH unexpected queue
+	HostCopies      uint64 // payload copies performed by the host CPU
+	HostCopiedBytes uint64
+	SignalsRun      uint64 // signal handlers that found work
+	SignalsIgnored  uint64 // signal handlers that found progress already done
+	PollBusy        sim.Time
+}
+
+// Process is one MPI rank: its simulated host process, NIC, queues and
+// protocol state. All methods must be called from the process's own
+// sim.Proc context (or from its interrupt handlers, which run there too).
+type Process struct {
+	P   *sim.Proc
+	CM  model.CostModel
+	Mem *gm.MemRegistry
+
+	nic  *gm.NIC
+	rank int
+	size int
+
+	posted     []*Request
+	unexpected []*uMsg
+
+	sendRv     map[uint64]*Request // pending rendezvous sends by handle
+	recvRv     map[uint64]*Request // pinned receives awaiting data by handle
+	nextHandle uint64
+
+	// abHook is the application-bypass pre-processing step of Fig. 4:
+	// the progress engine offers every collective packet to it before
+	// the default matching logic. Returning true consumes the packet.
+	abHook func(*gm.Packet) bool
+
+	// eagerPool models the pre-pinned bounce buffers MPICH-over-GM
+	// keeps for eager sends.
+	eagerPool *gm.Region
+
+	Stats ProcStats
+}
+
+// NewProcess builds rank `rank` of `size` on the given NIC. It pins the
+// eager bounce-buffer pool, charging the one-time registration cost.
+func NewProcess(p *sim.Proc, rank, size int, nic *gm.NIC, cm model.CostModel) *Process {
+	pr := &Process{
+		P:      p,
+		CM:     cm,
+		Mem:    gm.NewMemRegistry(cm),
+		nic:    nic,
+		rank:   rank,
+		size:   size,
+		sendRv: make(map[uint64]*Request),
+		recvRv: make(map[uint64]*Request),
+	}
+	pr.eagerPool = pr.Mem.Pin(p, 64*cm.C.EagerThreshold)
+	return pr
+}
+
+// Rebind attaches the process to a new simulated proc; used when a
+// cluster runs several programs back to back, each with fresh procs.
+func (pr *Process) Rebind(p *sim.Proc) { pr.P = p }
+
+// Rank returns this process's rank in the world.
+func (pr *Process) Rank() int { return pr.rank }
+
+// Size returns the world size.
+func (pr *Process) Size() int { return pr.size }
+
+// NIC exposes the process's network interface to the collective layers.
+func (pr *Process) NIC() *gm.NIC { return pr.nic }
+
+// SetABHook installs the application-bypass pre-processing hook
+// (Fig. 4). Pass nil to remove it.
+func (pr *Process) SetABHook(fn func(*gm.Packet) bool) { pr.abHook = fn }
+
+// PendingCollectiveSends counts rendezvous sends of collective type
+// still awaiting clear-to-send; while any exist the engine keeps NIC
+// signals enabled so the handshake advances without application help.
+func (pr *Process) PendingCollectiveSends() int {
+	n := 0
+	for _, req := range pr.sendRv {
+		if req.collective {
+			n++
+		}
+	}
+	return n
+}
+
+// chargeCopy spins for a host memcpy of n bytes and counts it.
+func (pr *Process) chargeCopy(n int) {
+	pr.P.Spin(pr.CM.HostCopy(n))
+	pr.Stats.HostCopies++
+	pr.Stats.HostCopiedBytes += uint64(n)
+}
+
+// handle allocates a rendezvous handle unique within this process.
+func (pr *Process) handle() uint64 {
+	pr.nextHandle++
+	return pr.nextHandle<<8 | uint64(pr.rank&0xFF)
+}
+
+// uMsg is an entry in the MPICH unexpected queue: either a buffered
+// eager/collective payload or a queued rendezvous RTS.
+type uMsg struct {
+	ctx     uint16
+	tag     int32
+	srcRank int32
+	data    []byte     // owned copy of an eager payload
+	rts     *gm.Packet // an unmatched rendezvous announcement
+	at      sim.Time
+}
+
+func (m *uMsg) matches(ctx uint16, src int, tag int32) bool {
+	return m.ctx == ctx &&
+		(src == AnySource || int32(src) == m.srcRank) &&
+		(tag == AnyTag || tag == m.tag)
+}
+
+// String aids debugging.
+func (pr *Process) String() string {
+	return fmt.Sprintf("rank %d/%d", pr.rank, pr.size)
+}

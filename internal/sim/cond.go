@@ -1,0 +1,57 @@
+package sim
+
+// Cond is a broadcast condition in virtual time. Processes park on Wait
+// and resume when another process (or a scheduled closure) calls
+// Broadcast. There is no spurious-wakeup guarantee in either direction:
+// callers should re-check their predicate in a loop.
+type Cond struct {
+	name    string
+	waiters []*Proc
+}
+
+// NewCond returns a condition; name appears in deadlock reports.
+func NewCond(name string) *Cond { return &Cond{name: name} }
+
+// Wait parks p until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park("cond " + c.name)
+}
+
+// WaitTimeout parks p until the next Broadcast or until d elapses,
+// whichever comes first. It reports whether the wake came from Broadcast.
+func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
+	deadline := p.k.now + d
+	timedOut := false
+	ev := p.k.schedule(deadline, func() {
+		timedOut = true
+		c.remove(p)
+		p.wakeAt(p.k.now)
+	})
+	c.waiters = append(c.waiters, p)
+	p.park("cond " + c.name)
+	p.k.cancel(ev)
+	c.remove(p)
+	return !timedOut
+}
+
+// Broadcast wakes every waiting process at the current virtual time.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p.wakeAt(p.k.now)
+	}
+}
+
+func (c *Cond) remove(p *Proc) {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Waiters returns the number of parked processes.
+func (c *Cond) Waiters() int { return len(c.waiters) }

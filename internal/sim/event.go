@@ -1,0 +1,66 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled closure. Events with equal times fire in schedule
+// order (seq breaks ties), which keeps the simulation deterministic.
+type event struct {
+	t        Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// eventHeap is a min-heap ordered by (t, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// schedule enqueues fn to run at time t. It may be called from scheduler
+// context or from a running process.
+func (k *Kernel) schedule(t Time, fn func()) *event {
+	if t < k.now {
+		t = k.now
+	}
+	ev := &event{t: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return ev
+}
+
+// cancel marks ev so it will be skipped when popped.
+func (k *Kernel) cancel(ev *event) {
+	if ev != nil {
+		ev.canceled = true
+	}
+}

@@ -1,0 +1,175 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// with coroutine-style processes.
+//
+// A Kernel owns a virtual clock and an event queue. Simulated processes
+// (Proc) run in their own goroutines, but the kernel resumes exactly one
+// process at a time: a process runs until it parks on a virtual-time event
+// (Sleep, Queue.Get, Cond.Wait, ...), then control returns to the scheduler.
+// Combined with seeded random number streams this makes entire cluster
+// simulations bit-for-bit reproducible, independent of GOMAXPROCS or OS
+// scheduling.
+//
+// All sim API calls must be made either from a running Proc's goroutine or
+// from a closure scheduled with Kernel.After; the kernel is not safe for
+// use from free-running goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is virtual time measured from the start of the simulation.
+// It uses time.Duration's representation (nanoseconds) so the µs/ms
+// helpers in package time read naturally in simulation code.
+type Time = time.Duration
+
+// Kernel is a discrete-event scheduler with a virtual clock.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	procs   map[int]*Proc
+	nextID  int
+	running *Proc // proc currently executing, nil while in scheduler
+	ndCount int   // live non-daemon processes
+	ndEver  bool  // a non-daemon process has existed
+
+	seed    int64
+	rng     *rand.Rand
+	nstream int64
+
+	panicked any
+	stopped  bool
+}
+
+// New returns a kernel whose random streams derive from seed.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		procs: make(map[int]*Proc),
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed returns the seed the kernel was created with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// RNG returns the kernel's root random stream. Use NewRNG for independent
+// per-component streams.
+func (k *Kernel) RNG() *rand.Rand { return k.rng }
+
+// NewRNG returns an independent deterministic random stream. Streams are
+// numbered in creation order, so identical construction order yields
+// identical streams across runs.
+func (k *Kernel) NewRNG() *rand.Rand {
+	k.nstream++
+	return rand.New(rand.NewSource(k.seed*1000003 + k.nstream))
+}
+
+// After schedules fn to run at now+d in scheduler context. fn must not
+// park (it has no process); it may schedule further events, put items on
+// queues and fire conditions.
+func (k *Kernel) After(d Time, fn func()) { k.schedule(k.now+d, fn) }
+
+// Spawn starts a new simulated process executing fn. The process begins
+// running at the current virtual time, after already-scheduled events.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	k.nextID++
+	p := &Proc{
+		k:      k,
+		id:     k.nextID,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	k.procs[p.id] = p
+	k.ndCount++
+	k.ndEver = true
+	go p.run(fn)
+	k.schedule(k.now, func() { k.resumeProc(p) })
+	return p
+}
+
+// resumeProc hands control to p and blocks until p parks or finishes.
+func (k *Kernel) resumeProc(p *Proc) {
+	if p.done {
+		return
+	}
+	k.running = p
+	p.resume <- struct{}{}
+	<-p.parked
+	k.running = nil
+	if p.done {
+		delete(k.procs, p.id)
+		if !p.daemon {
+			k.ndCount--
+		}
+	}
+	if p.panicked != nil && k.panicked == nil {
+		k.panicked = p.panicked
+	}
+}
+
+// Run drains the event queue. It returns the virtual time at which the
+// simulation went quiet. If any live processes remain parked with no
+// pending events, Run panics with a deadlock report naming each stuck
+// process and its park reason.
+func (k *Kernel) Run() Time {
+	for len(k.events) > 0 && !k.stopped {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.t < k.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", k.now, ev.t))
+		}
+		k.now = ev.t
+		ev.fn()
+		if k.panicked != nil {
+			panic(k.panicked)
+		}
+		if k.ndEver && k.ndCount == 0 {
+			// Only daemons (NIC control programs, tickers) remain; the
+			// simulation proper is over even if they keep scheduling.
+			break
+		}
+	}
+	if !k.stopped && k.ndCount > 0 {
+		panic("sim: deadlock at t=" + k.now.String() + ":\n" + k.stuckReport())
+	}
+	return k.now
+}
+
+// Stop makes Run return after the current event completes. Parked
+// processes are abandoned (their goroutines exit when the test binary
+// does); Stop is intended for tests and bounded simulations.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// stuckReport lists live processes and why they are parked.
+func (k *Kernel) stuckReport() string {
+	ids := make([]int, 0, len(k.procs))
+	for id := range k.procs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	s := ""
+	for _, id := range ids {
+		p := k.procs[id]
+		if p.daemon {
+			continue
+		}
+		s += fmt.Sprintf("  proc %d %q parked on %q\n", p.id, p.name, p.reason)
+	}
+	return s
+}
+
+// LiveProcs returns the number of processes that have not finished.
+func (k *Kernel) LiveProcs() int { return len(k.procs) }

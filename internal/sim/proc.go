@@ -1,0 +1,205 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process. Its function runs on a dedicated goroutine,
+// but the kernel guarantees only one Proc executes at a time; every
+// blocking call (Sleep, Spin, Queue.Get, Cond.Wait) parks the goroutine
+// and returns control to the scheduler until a wake event fires.
+type Proc struct {
+	k    *Kernel
+	id   int
+	name string
+
+	resume chan struct{}
+	parked chan struct{}
+
+	done     bool
+	daemon   bool
+	panicked any
+	reason   string // what the proc is parked on, for deadlock reports
+
+	wake *event // pending wake event, if parked on one
+
+	// Signal-handler support (see Interrupt / SpinInterruptible).
+	intr          []func()
+	interruptible bool
+
+	// busy accumulates virtual CPU time consumed via Spin,
+	// SpinInterruptible and interrupt handlers. Layers above use it for
+	// direct CPU-utilization attribution.
+	busy Time
+}
+
+// ID returns the kernel-assigned process id.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// SetDaemon marks the process as a background service (NIC control
+// programs, tracers). Daemon processes do not keep the simulation alive:
+// Kernel.Run ends, without a deadlock report, once only daemons remain.
+func (p *Proc) SetDaemon(on bool) {
+	if p.daemon == on {
+		return
+	}
+	p.daemon = on
+	if p.done {
+		return
+	}
+	if on {
+		p.k.ndCount--
+	} else {
+		p.k.ndCount++
+	}
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Busy returns the virtual CPU time this process has consumed through
+// Spin, SpinInterruptible and interrupt handlers.
+func (p *Proc) Busy() Time { return p.busy }
+
+// AddBusy charges d of CPU time to the process without advancing the
+// clock. Layers that busy-poll inside otherwise-parked waits use it to
+// attribute the wait as CPU time.
+func (p *Proc) AddBusy(d Time) { p.busy += d }
+
+// run executes the process body, catching panics so they surface from
+// Kernel.Run instead of killing a bare goroutine.
+func (p *Proc) run(fn func(p *Proc)) {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicked = fmt.Sprintf("sim: proc %q panicked: %v", p.name, r)
+		}
+		p.done = true
+		p.parked <- struct{}{}
+	}()
+	fn(p)
+}
+
+// park returns control to the scheduler until a wake event resumes this
+// process. reason appears in deadlock reports.
+func (p *Proc) park(reason string) {
+	if p.k.running != p {
+		panic(fmt.Sprintf("sim: park of %q from outside its own context", p.name))
+	}
+	p.reason = reason
+	p.parked <- struct{}{}
+	<-p.resume
+	p.reason = ""
+}
+
+// wakeAt schedules this process to resume at time t. It is idempotent
+// while a wake is already pending, so racing wake sources (Put plus
+// timeout, Broadcast plus Interrupt) cannot double-resume a process.
+func (p *Proc) wakeAt(t Time) {
+	if p.wake != nil {
+		return
+	}
+	k := p.k
+	p.wake = k.schedule(t, func() {
+		p.wake = nil
+		k.resumeProc(p)
+	})
+}
+
+// Sleep advances this process's local time by d without consuming CPU
+// (other processes run meanwhile).
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		p.Yield()
+		return
+	}
+	p.wakeAt(p.k.now + d)
+	p.park("sleep")
+}
+
+// Spin busy-waits for d: the same as Sleep in virtual time, but the time
+// is charged as CPU (Busy). Use it for compute loops, polling costs and
+// injected overheads.
+func (p *Proc) Spin(d Time) {
+	p.busy += d
+	p.Sleep(d)
+}
+
+// Yield reschedules the process after all events already pending at the
+// current time.
+func (p *Proc) Yield() {
+	p.wakeAt(p.k.now)
+	p.park("yield")
+}
+
+// Interrupt queues fn to run on p's stack, in virtual time, at p's next
+// interruptible point. If p is currently inside SpinInterruptible, the
+// spin is preempted immediately (the remaining spin time still executes
+// afterwards, so handler time extends p's elapsed time exactly like a
+// Unix signal stealing cycles from an application busy loop).
+//
+// Interrupt may be called from any proc or scheduler context except p's
+// own running context.
+func (p *Proc) Interrupt(fn func()) {
+	p.intr = append(p.intr, fn)
+	if p.interruptible && p.wake != nil {
+		// Preempt the interruptible sleep: fire the wake now.
+		p.k.cancel(p.wake)
+		p.wake = nil
+		p.wakeAt(p.k.now)
+	}
+}
+
+// PendingInterrupts reports how many queued interrupt handlers have not
+// run yet.
+func (p *Proc) PendingInterrupts() int { return len(p.intr) }
+
+// runInterrupts executes queued handlers on this proc's stack. Handler
+// virtual time is charged to Busy.
+func (p *Proc) runInterrupts() {
+	for len(p.intr) > 0 {
+		fn := p.intr[0]
+		p.intr = p.intr[1:]
+		t0 := p.k.now
+		b0 := p.busy
+		fn()
+		// Charge wall time spent in the handler as CPU unless the
+		// handler already charged it via Spin.
+		elapsed := p.k.now - t0
+		charged := p.busy - b0
+		if charged < elapsed {
+			p.busy += elapsed - charged
+		}
+	}
+}
+
+// SpinInterruptible busy-spins for d of application work, servicing
+// queued interrupts as they arrive. The call returns only after the full
+// d of application work has executed; handler executions extend the
+// elapsed virtual time beyond d. Returns the total elapsed time.
+func (p *Proc) SpinInterruptible(d Time) Time {
+	start := p.k.now
+	remaining := d
+	for {
+		p.runInterrupts()
+		if remaining <= 0 {
+			break
+		}
+		t0 := p.k.now
+		p.interruptible = true
+		p.wakeAt(t0 + remaining)
+		p.park("spin-interruptible")
+		p.interruptible = false
+		slept := p.k.now - t0
+		if slept > remaining {
+			slept = remaining
+		}
+		p.busy += slept
+		remaining -= slept
+	}
+	return p.k.now - start
+}

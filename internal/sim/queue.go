@@ -1,0 +1,106 @@
+package sim
+
+// Queue is an unbounded FIFO queue in virtual time. Put never blocks;
+// Get parks the calling process until an item is available. A Queue is
+// safe for use by any number of simulated processes (the kernel's strict
+// hand-off scheduling means no real concurrency ever occurs).
+type Queue[T any] struct {
+	name    string
+	items   []T
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue; name appears in deadlock reports.
+func NewQueue[T any](name string) *Queue[T] {
+	return &Queue[T]{name: name}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v and wakes the oldest waiting process, if any. It may be
+// called from process or scheduler context.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+// PutFront prepends v (used to return an item taken speculatively).
+func (q *Queue[T]) PutFront(v T) {
+	q.items = append([]T{v}, q.items...)
+	q.wakeOne()
+}
+
+func (q *Queue[T]) wakeOne() {
+	if len(q.waiters) == 0 {
+		return
+	}
+	p := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	p.wakeAt(p.k.now)
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Peek returns the head item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// Get removes and returns the head item, parking p until one is
+// available.
+func (q *Queue[T]) Get(p *Proc) T {
+	for {
+		if v, ok := q.TryGet(); ok {
+			return v
+		}
+		q.waiters = append(q.waiters, p)
+		p.park("queue " + q.name)
+	}
+}
+
+// GetTimeout is like Get but gives up after d, returning ok=false. A
+// timeout consumes exactly d of virtual time.
+func (q *Queue[T]) GetTimeout(p *Proc, d Time) (T, bool) {
+	var zero T
+	deadline := p.k.now + d
+	for {
+		if v, ok := q.TryGet(); ok {
+			return v, true
+		}
+		if p.k.now >= deadline {
+			return zero, false
+		}
+		q.waiters = append(q.waiters, p)
+		ev := p.k.schedule(deadline, func() {
+			q.removeWaiter(p)
+			p.wakeAt(p.k.now)
+		})
+		p.park("queue " + q.name)
+		p.k.cancel(ev)
+		q.removeWaiter(p)
+	}
+}
+
+func (q *Queue[T]) removeWaiter(p *Proc) {
+	for i, w := range q.waiters {
+		if w == p {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}

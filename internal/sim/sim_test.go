@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+const us = time.Microsecond
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := New(1)
+	var end Time
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(10 * us)
+		p.Sleep(5 * us)
+		end = p.Now()
+	})
+	k.Run()
+	if end != 15*us {
+		t.Fatalf("end = %v, want 15µs", end)
+	}
+}
+
+func TestSpawnOrderingDeterministic(t *testing.T) {
+	run := func() []int {
+		k := New(7)
+		var order []int
+		for i := 0; i < 5; i++ {
+			i := i
+			k.Spawn("p", func(p *Proc) {
+				p.Sleep(Time(i) * us)
+				order = append(order, i)
+				p.Sleep(Time(10-i) * us)
+				order = append(order, 10+i)
+			})
+		}
+		k.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 10 {
+		t.Fatalf("len = %d, want 10", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	k := New(1)
+	q := NewQueue[int]("q")
+	var got []int
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	k.Spawn("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(Time(i) * us)
+			q.Put(i * 100)
+		}
+	})
+	k.Run()
+	want := []int{100, 200, 300}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueGetTimeout(t *testing.T) {
+	k := New(1)
+	q := NewQueue[string]("q")
+	k.Spawn("c", func(p *Proc) {
+		if _, ok := q.GetTimeout(p, 5*us); ok {
+			t.Error("expected timeout")
+		}
+		if p.Now() != 5*us {
+			t.Errorf("timeout consumed %v, want 5µs", p.Now())
+		}
+		v, ok := q.GetTimeout(p, 100*us)
+		if !ok || v != "x" {
+			t.Errorf("got %q ok=%v, want x", v, ok)
+		}
+		if p.Now() != 8*us {
+			t.Errorf("resumed at %v, want 8µs", p.Now())
+		}
+	})
+	k.Spawn("pr", func(p *Proc) {
+		p.Sleep(8 * us)
+		q.Put("x")
+	})
+	k.Run()
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	k := New(1)
+	c := NewCond("c")
+	woke := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", func(p *Proc) {
+			c.Wait(p)
+			woke++
+		})
+	}
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(3 * us)
+		c.Broadcast()
+	})
+	k.Run()
+	if woke != 4 {
+		t.Fatalf("woke = %d, want 4", woke)
+	}
+}
+
+func TestSpinChargesBusy(t *testing.T) {
+	k := New(1)
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(10 * us)
+		p.Spin(7 * us)
+		if p.Busy() != 7*us {
+			t.Errorf("busy = %v, want 7µs", p.Busy())
+		}
+		if p.Now() != 17*us {
+			t.Errorf("now = %v, want 17µs", p.Now())
+		}
+	})
+	k.Run()
+}
+
+// TestInterruptPreemptsSpin checks the signal-handler semantics the whole
+// reproduction rests on: an interrupt delivered mid-spin runs inline and
+// extends the elapsed time by exactly the handler's duration.
+func TestInterruptPreemptsSpin(t *testing.T) {
+	k := New(1)
+	var target *Proc
+	handlerRan := Time(-1)
+	target = k.Spawn("app", func(p *Proc) {
+		elapsed := p.SpinInterruptible(100 * us)
+		if elapsed != 120*us {
+			t.Errorf("elapsed = %v, want 120µs", elapsed)
+		}
+		if p.Now() != 120*us {
+			t.Errorf("now = %v, want 120µs", p.Now())
+		}
+		// 100µs app spin + 20µs handler spin, all CPU.
+		if p.Busy() != 120*us {
+			t.Errorf("busy = %v, want 120µs", p.Busy())
+		}
+	})
+	k.Spawn("nic", func(p *Proc) {
+		p.Sleep(30 * us)
+		target.Interrupt(func() {
+			handlerRan = k.Now()
+			target.Spin(20 * us)
+		})
+	})
+	k.Run()
+	if handlerRan != 30*us {
+		t.Fatalf("handler ran at %v, want 30µs", handlerRan)
+	}
+}
+
+// TestInterruptWhileNotSpinning checks that interrupts queued while the
+// target is parked non-interruptibly run at its next interruptible point.
+func TestInterruptWhileNotSpinning(t *testing.T) {
+	k := New(1)
+	q := NewQueue[int]("q")
+	var target *Proc
+	ran := false
+	target = k.Spawn("app", func(p *Proc) {
+		_ = q.Get(p) // parked non-interruptibly
+		if ran {
+			t.Error("handler ran during non-interruptible park")
+		}
+		p.SpinInterruptible(1 * us)
+		if !ran {
+			t.Error("handler did not run at interruptible point")
+		}
+	})
+	k.Spawn("other", func(p *Proc) {
+		p.Sleep(5 * us)
+		target.Interrupt(func() { ran = true })
+		p.Sleep(5 * us)
+		q.Put(1)
+	})
+	k.Run()
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	k := New(1)
+	q := NewQueue[int]("never")
+	k.Spawn("stuck", func(p *Proc) { q.Get(p) })
+	k.Run()
+}
+
+func TestAfterRunsAtScheduledTime(t *testing.T) {
+	k := New(1)
+	var at Time
+	k.After(42*us, func() { at = k.Now() })
+	k.Run()
+	if at != 42*us {
+		t.Fatalf("ran at %v, want 42µs", at)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	k := New(1)
+	k.Spawn("bad", func(p *Proc) { panic("boom") })
+	k.Run()
+}
+
+func TestNewRNGStreamsDeterministic(t *testing.T) {
+	k1, k2 := New(9), New(9)
+	r1, r2 := k1.NewRNG(), k2.NewRNG()
+	for i := 0; i < 100; i++ {
+		if r1.Int63() != r2.Int63() {
+			t.Fatal("rng streams differ across identical kernels")
+		}
+	}
+	r3 := k1.NewRNG()
+	same := true
+	r1b := New(9).NewRNG()
+	for i := 0; i < 10; i++ {
+		if r3.Int63() != r1b.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct streams from one kernel are identical")
+	}
+}

@@ -1,0 +1,138 @@
+package skew
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+const us = time.Microsecond
+
+func TestUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Uniform{Max: 100 * us}
+	for i := 0; i < 1000; i++ {
+		v := d.Draw(rng)
+		if v < 0 || v > 100*us {
+			t.Fatalf("draw %v outside [0, 100µs]", v)
+		}
+	}
+	if (Uniform{}).Draw(rng) != 0 {
+		t.Error("zero-max uniform must draw 0")
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Mean(Uniform{Max: 1000 * us}, rng, 20000)
+	if m < 450*us || m > 550*us {
+		t.Errorf("uniform mean %v, want ≈500µs", m)
+	}
+}
+
+func TestExponentialMeanAndCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := Exponential{Mean: 100 * us}
+	var max time.Duration
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		v := d.Draw(rng)
+		if v > max {
+			max = v
+		}
+		sum += float64(v)
+	}
+	mean := time.Duration(sum / float64(n))
+	if mean < 85*us || mean > 115*us {
+		t.Errorf("exp mean %v, want ≈100µs", mean)
+	}
+	if max > 800*us {
+		t.Errorf("exp draw %v exceeds the 8x cap", max)
+	}
+	if (Exponential{}).Draw(rng) != 0 {
+		t.Error("zero-mean exponential must draw 0")
+	}
+}
+
+func TestParetoBoundsAndTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := Pareto{Min: 10 * us, Max: 1000 * us, Alpha: 1.5}
+	big := 0
+	for i := 0; i < 10000; i++ {
+		v := d.Draw(rng)
+		if v < 10*us || v > 1000*us {
+			t.Fatalf("pareto draw %v outside bounds", v)
+		}
+		if v > 100*us {
+			big++
+		}
+	}
+	// Alpha=1.5: P(X > 10·Min) = 10^-1.5 ≈ 3.2%.
+	if big < 100 || big > 900 {
+		t.Errorf("tail mass %d/10000 implausible for alpha=1.5", big)
+	}
+	if (Pareto{}).Draw(rng) != 0 {
+		t.Error("invalid pareto must draw 0")
+	}
+}
+
+func TestStragglerFrequency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := Straggler{P: 10, Delay: 500 * us}
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		v := d.Draw(rng)
+		if v != 0 && v != 500*us {
+			t.Fatalf("straggler draw %v", v)
+		}
+		if v != 0 {
+			hits++
+		}
+	}
+	if hits < 800 || hits > 1200 {
+		t.Errorf("straggler hit rate %d/10000, want ≈1000", hits)
+	}
+	if (Straggler{P: 1, Delay: 7 * us}).Draw(rng) != 7*us {
+		t.Error("P≤1 straggler must always delay")
+	}
+}
+
+func TestNone(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if (None{}).Draw(rng) != 0 {
+		t.Error("None must draw 0")
+	}
+}
+
+func TestMatrixShapeAndDeterminism(t *testing.T) {
+	m1 := Matrix(Uniform{Max: 50 * us}, rand.New(rand.NewSource(7)), 5, 8)
+	m2 := Matrix(Uniform{Max: 50 * us}, rand.New(rand.NewSource(7)), 5, 8)
+	if len(m1) != 5 || len(m1[0]) != 8 {
+		t.Fatalf("matrix shape %dx%d", len(m1), len(m1[0]))
+	}
+	for i := range m1 {
+		for j := range m1[i] {
+			if m1[i][j] != m2[i][j] {
+				t.Fatal("matrix not deterministic for equal seeds")
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, d := range []Dist{
+		Uniform{Max: us}, Exponential{Mean: us},
+		Pareto{Min: us, Max: 2 * us, Alpha: 1}, Straggler{P: 4, Delay: us}, None{},
+	} {
+		if d.Name() == "" {
+			t.Errorf("%T has empty name", d)
+		}
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(None{}, rand.New(rand.NewSource(8)), 0) != 0 {
+		t.Error("Mean with n=0 must be 0")
+	}
+}

@@ -1,0 +1,95 @@
+// Package stats provides the small set of summary statistics the
+// benchmark harness reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample of durations.
+type Summary struct {
+	N                   int
+	Mean, Min, Max, Std time.Duration
+	P50, P95, P99       time.Duration
+}
+
+// Summarize computes a Summary; it returns the zero value for an empty
+// sample.
+func Summarize(xs []time.Duration) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		f := float64(x)
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / float64(len(xs))
+	s.Mean = time.Duration(mean)
+	variance := sumSq/float64(len(xs)) - mean*mean
+	if variance > 0 {
+		s.Std = time.Duration(math.Sqrt(variance))
+	}
+	sorted := append([]time.Duration(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
+	return s
+}
+
+// percentile reads the p-quantile from an ascending sample using
+// nearest-rank.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Mean averages a duration sample.
+func Mean(xs []time.Duration) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return time.Duration(sum / float64(len(xs)))
+}
+
+// MeanFloat averages a float sample.
+func MeanFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Micros renders a duration as microseconds with one decimal.
+func Micros(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Microsecond))
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	xs := []time.Duration{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]time.Duration{42})
+	if s.Mean != 42 || s.Min != 42 || s.Max != 42 || s.Std != 0 || s.P99 != 42 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+// TestSummaryInvariants checks Min ≤ P50 ≤ P95 ≤ P99 ≤ Max and
+// Min ≤ Mean ≤ Max for arbitrary samples.
+func TestSummaryInvariants(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			xs[i] = time.Duration(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max+1 // +1 absorbs float truncation at Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty must be 0")
+	}
+	if Mean([]time.Duration{10, 20, 30}) != 20 {
+		t.Error("mean wrong")
+	}
+	if MeanFloat([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("float mean wrong")
+	}
+	if MeanFloat(nil) != 0 {
+		t.Error("float mean of empty must be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	s := Summarize([]time.Duration{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Std != 2 {
+		t.Errorf("std = %v, want 2", s.Std)
+	}
+}
+
+func TestMicros(t *testing.T) {
+	if got := Micros(1500 * time.Nanosecond); got != "1.5" {
+		t.Errorf("Micros = %q", got)
+	}
+	if got := Micros(2 * time.Millisecond); got != "2000.0" {
+		t.Errorf("Micros = %q", got)
+	}
+}

@@ -1,0 +1,122 @@
+// Package trace records per-node activity spans from a simulation run
+// and renders them as an ASCII timeline, reproducing the shape of the
+// paper's Fig. 2: the split of an internal node's reduction processing
+// into a synchronous part inside MPI_Reduce and asynchronous parts
+// triggered by late messages.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"abred/internal/sim"
+)
+
+// Span kinds, in increasing render priority (later overdraw earlier).
+const (
+	KindIdle    byte = '.'
+	KindCompute byte = 'c' // application computation / injected delay
+	KindBarrier byte = 'b'
+	KindSync    byte = 'R' // inside the Reduce call
+	KindAsync   byte = 'A' // asynchronous (signal-driven) processing
+)
+
+// Span is one activity interval on one node.
+type Span struct {
+	Node       int
+	Kind       byte
+	Start, End sim.Time
+	Label      string
+}
+
+// Recorder accumulates spans. It is safe for simulated processes (the
+// kernel serializes them).
+type Recorder struct {
+	Spans []Span
+}
+
+// Add records a span.
+func (r *Recorder) Add(node int, kind byte, start, end sim.Time, label string) {
+	if end < start {
+		start, end = end, start
+	}
+	r.Spans = append(r.Spans, Span{Node: node, Kind: kind, Start: start, End: end, Label: label})
+}
+
+// kindPriority orders overdraw: async beats sync beats compute.
+func kindPriority(k byte) int {
+	switch k {
+	case KindAsync:
+		return 4
+	case KindSync:
+		return 3
+	case KindBarrier:
+		return 2
+	case KindCompute:
+		return 1
+	}
+	return 0
+}
+
+// Render draws one character row per node over the recorded interval.
+// width is the number of time buckets; each bucket shows the
+// highest-priority span covering it.
+func (r *Recorder) Render(w io.Writer, nodes, width int) {
+	if len(r.Spans) == 0 {
+		fmt.Fprintln(w, "(no spans recorded)")
+		return
+	}
+	minT, maxT := r.Spans[0].Start, r.Spans[0].End
+	for _, s := range r.Spans {
+		if s.Start < minT {
+			minT = s.Start
+		}
+		if s.End > maxT {
+			maxT = s.End
+		}
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	span := float64(maxT - minT)
+	rows := make([][]byte, nodes)
+	prio := make([][]int, nodes)
+	for i := range rows {
+		rows[i] = make([]byte, width)
+		prio[i] = make([]int, width)
+		for j := range rows[i] {
+			rows[i][j] = KindIdle
+		}
+	}
+	sorted := append([]Span(nil), r.Spans...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return kindPriority(sorted[i].Kind) < kindPriority(sorted[j].Kind)
+	})
+	for _, s := range sorted {
+		if s.Node < 0 || s.Node >= nodes {
+			continue
+		}
+		b0 := int(float64(s.Start-minT) / span * float64(width))
+		b1 := int(float64(s.End-minT) / span * float64(width))
+		if b1 <= b0 {
+			b1 = b0 + 1
+		}
+		if b1 > width {
+			b1 = width
+		}
+		p := kindPriority(s.Kind)
+		for j := b0; j < b1; j++ {
+			if p >= prio[s.Node][j] {
+				rows[s.Node][j] = s.Kind
+				prio[s.Node][j] = p
+			}
+		}
+	}
+	fmt.Fprintf(w, "time %v .. %v  (one column ≈ %v)\n",
+		minT, maxT, sim.Time(span/float64(width)))
+	for i, row := range rows {
+		fmt.Fprintf(w, "node %2d |%s|\n", i, row)
+	}
+	fmt.Fprintf(w, "legend: R=inside Reduce  A=async handler  c=compute/delay  b=barrier  .=idle\n")
+}

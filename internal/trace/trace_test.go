@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const us = time.Microsecond
+
+func TestRenderBasic(t *testing.T) {
+	r := &Recorder{}
+	r.Add(0, KindSync, 0, 50*us, "reduce")
+	r.Add(1, KindCompute, 0, 100*us, "work")
+	r.Add(1, KindAsync, 60*us, 70*us, "handler")
+	var b strings.Builder
+	r.Render(&b, 2, 20)
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 2 nodes + legend
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "R") {
+		t.Errorf("node 0 row missing sync marker: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "A") || !strings.Contains(lines[2], "c") {
+		t.Errorf("node 1 row missing async/compute: %q", lines[2])
+	}
+}
+
+func TestRenderPriorityOverdraw(t *testing.T) {
+	r := &Recorder{}
+	r.Add(0, KindCompute, 0, 100*us, "")
+	r.Add(0, KindAsync, 0, 100*us, "")
+	var b strings.Builder
+	r.Render(&b, 1, 10)
+	row := strings.Split(b.String(), "\n")[1]
+	if strings.Contains(row, "c") {
+		t.Errorf("async must overdraw compute: %q", row)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	r := &Recorder{}
+	var b strings.Builder
+	r.Render(&b, 3, 10)
+	if !strings.Contains(b.String(), "no spans") {
+		t.Errorf("empty render: %q", b.String())
+	}
+}
+
+func TestAddSwapsReversedSpan(t *testing.T) {
+	r := &Recorder{}
+	r.Add(0, KindSync, 10*us, 5*us, "")
+	if r.Spans[0].Start != 5*us || r.Spans[0].End != 10*us {
+		t.Errorf("reversed span not normalized: %+v", r.Spans[0])
+	}
+}
+
+func TestRenderIgnoresOutOfRangeNodes(t *testing.T) {
+	r := &Recorder{}
+	r.Add(9, KindSync, 0, 10*us, "")
+	r.Add(0, KindSync, 0, 10*us, "")
+	var b strings.Builder
+	r.Render(&b, 1, 10) // must not panic
+	if !strings.Contains(b.String(), "node  0") {
+		t.Error("node row missing")
+	}
+}
+
+func TestZeroLengthSpanStillVisible(t *testing.T) {
+	r := &Recorder{}
+	r.Add(0, KindCompute, 0, 100*us, "")
+	r.Add(0, KindAsync, 50*us, 50*us, "") // instantaneous
+	var b strings.Builder
+	r.Render(&b, 1, 20)
+	row := strings.Split(b.String(), "\n")[1]
+	if !strings.Contains(row, "A") {
+		t.Errorf("instantaneous span invisible: %q", row)
+	}
+}

@@ -1,0 +1,68 @@
+package abred
+
+import (
+	"time"
+
+	"abred/internal/model"
+)
+
+// config collects cluster construction options.
+type config struct {
+	specs []model.NodeSpec
+	costs model.Costs
+	seed  int64
+}
+
+// Option configures NewCluster.
+type Option func(*config)
+
+// WithNodes uses n nodes of the paper's interlaced heterogeneous mix
+// (700 MHz and 1 GHz Pentium-III classes alternating, as in §VI).
+func WithNodes(n int) Option {
+	return func(c *config) { c.specs = model.PaperCluster(n) }
+}
+
+// WithHomogeneousNodes uses n identical 1 GHz nodes.
+func WithHomogeneousNodes(n int) Option {
+	return func(c *config) { c.specs = model.Homogeneous1G(n) }
+}
+
+// WithPaperCluster uses the paper's exact 32-node heterogeneous testbed.
+func WithPaperCluster() Option {
+	return func(c *config) { c.specs = model.PaperCluster32() }
+}
+
+// WithSpecs supplies an explicit node list.
+func WithSpecs(specs []NodeSpec) Option {
+	return func(c *config) { c.specs = append([]model.NodeSpec(nil), specs...) }
+}
+
+// WithSeed fixes the simulation seed; identical seeds reproduce runs
+// exactly, including all reported timings.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithSignalCost overrides the modeled cost of one NIC-raised signal
+// reaching the application (useful for sensitivity studies).
+func WithSignalCost(d time.Duration) Option {
+	return func(c *config) {
+		c.ensureCosts()
+		c.costs.SignalOvh = d
+	}
+}
+
+// WithEagerThreshold overrides the eager/rendezvous protocol switch
+// point in bytes.
+func WithEagerThreshold(bytes int) Option {
+	return func(c *config) {
+		c.ensureCosts()
+		c.costs.EagerThreshold = bytes
+	}
+}
+
+func (c *config) ensureCosts() {
+	if c.costs == (model.Costs{}) {
+		c.costs = model.DefaultCosts()
+	}
+}
