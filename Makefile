@@ -1,0 +1,26 @@
+# Tier-1 gate: everything must build, vet clean, and pass the race
+# detector. This is what CI runs on every change.
+.PHONY: check
+check:
+	go build ./...
+	go vet ./...
+	go test -race ./...
+
+.PHONY: test
+test:
+	go build ./... && go test ./...
+
+# Regenerate every figure on a full worker pool and record the sweep's
+# execution metrics (wall-clock, speedup, events/sec) in BENCH_sweep.json.
+.PHONY: bench
+bench:
+	go run ./cmd/abbench -fig all -ablations -parallel 0 -sweepjson BENCH_sweep.json
+
+# Paranoia target: the figure set must be byte-identical serial vs
+# parallel. Slow; the same property is asserted by TestParallelDeterminism.
+.PHONY: determinism
+determinism:
+	go run ./cmd/abbench -fig all -iters 60 -csv -parallel 1 -sweepjson /tmp/abred_s.json > /tmp/abred_serial.txt
+	go run ./cmd/abbench -fig all -iters 60 -csv -parallel 8 -sweepjson /tmp/abred_p.json > /tmp/abred_parallel.txt
+	cmp /tmp/abred_serial.txt /tmp/abred_parallel.txt
+	@echo "serial and parallel figure output byte-identical"

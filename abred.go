@@ -57,6 +57,11 @@ func NewCluster(opts ...Option) *Cluster {
 // Size returns the number of nodes.
 func (cl *Cluster) Size() int { return len(cl.c.Nodes) }
 
+// Close releases the cluster's simulated processes (including per-node
+// NIC control programs). Programs that build many clusters should Close
+// each when done; the cluster cannot Run again afterwards.
+func (cl *Cluster) Close() { cl.c.Close() }
+
 // Run executes fn once per rank (each on its own simulated process) and
 // drives the simulation until every rank returns. It reports the virtual
 // time consumed. Run may be called repeatedly for phased programs.

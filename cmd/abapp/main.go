@@ -28,6 +28,7 @@ func main() {
 	window := flag.Int("window", 3, "split-phase result lag window (iterations)")
 	halo := flag.Bool("halo", true, "nearest-neighbour exchange each iteration")
 	seed := flag.Int64("seed", 20030701, "simulation seed")
+	parallel := flag.Int("parallel", 0, "run the styles on a worker pool (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	var d skew.Dist
@@ -63,7 +64,7 @@ func main() {
 		*nodes, *iters, *compute, d.Name())
 	fmt.Printf("%d x %d-element reductions per iteration, halo=%v\n\n", *reds, *count, *halo)
 
-	results := workload.Compare(cfg,
+	results := workload.CompareParallel(cfg, *parallel,
 		workload.StyleDefault, workload.StyleBypass, workload.StyleSplitPhase, workload.StyleNIC)
 
 	base := results[0]

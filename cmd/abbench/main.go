@@ -4,32 +4,69 @@
 //
 // Usage:
 //
-//	abbench [-fig 6|7|8|9|10|all] [-ablations] [-iters N] [-seed N] [-csv]
+//	abbench [-fig 6|7|8|9|10|all] [-ablations] [-iters N] [-seed N]
+//	        [-parallel N] [-csv] [-sweepjson FILE]
 //
 // Each figure prints as an aligned table; -csv switches to CSV for
-// plotting. The defaults (200 iterations) give stable virtual-time
-// averages in seconds of wall time; the paper's 10,000 iterations also
-// work if you have the patience.
+// plotting. Every figure is a grid of independent simulations, so
+// -parallel N runs its cells on an N-worker pool (0 means GOMAXPROCS);
+// the printed tables are byte-identical for every worker count. The
+// sweep's own execution metrics — wall-clock, serial-equivalent time,
+// speedup, simulated-event throughput — go to -sweepjson (default
+// BENCH_sweep.json, empty to disable). The defaults (200 iterations)
+// give stable virtual-time averages in seconds of wall time; the
+// paper's 10,000 iterations also work if you have the patience.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"abred/internal/bench"
+	"abred/internal/sweep"
 )
+
+// sweepEntry is one figure's execution record in BENCH_sweep.json.
+type sweepEntry struct {
+	Figure       string  `json:"figure"`
+	Jobs         int     `json:"jobs"`
+	Workers      int     `json:"workers"`
+	WallMS       float64 `json:"wall_ms"`
+	JobWallMS    float64 `json:"job_wall_ms"`
+	Speedup      float64 `json:"speedup"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func entry(p sweep.Perf) sweepEntry {
+	return sweepEntry{
+		Figure:       p.Name,
+		Jobs:         p.Jobs,
+		Workers:      p.Workers,
+		WallMS:       float64(p.Wall) / float64(time.Millisecond),
+		JobWallMS:    float64(p.JobWall) / float64(time.Millisecond),
+		Speedup:      p.Speedup(),
+		Events:       p.Events,
+		EventsPerSec: p.EventsPerSec(),
+	}
+}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10 or all")
 	ablations := flag.Bool("ablations", false, "also run the delay-heuristic and NIC-reduction studies")
 	iters := flag.Int("iters", 200, "benchmark iterations per data point")
 	seed := flag.Int64("seed", 20030701, "simulation seed (results are exactly reproducible per seed)")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	sweepJSON := flag.String("sweepjson", "BENCH_sweep.json", "write per-figure sweep metrics here (empty to disable)")
 	flag.Parse()
 
+	o := bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel}
+
+	var entries []sweepEntry
 	emit := func(t *bench.Table) {
 		if *csv {
 			t.WriteCSV(os.Stdout)
@@ -37,6 +74,7 @@ func main() {
 		} else {
 			t.Write(os.Stdout)
 		}
+		entries = append(entries, entry(t.Perf))
 	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
@@ -44,25 +82,25 @@ func main() {
 	ran := 0
 
 	if want("6") {
-		emit(bench.Fig6(*iters, *seed))
+		emit(bench.Fig6(o))
 		ran++
 	}
 	if want("7") {
-		emit(bench.Fig7(*iters, *seed))
+		emit(bench.Fig7(o))
 		ran++
 	}
 	if want("8") {
-		emit(bench.Fig8(*iters, *seed))
+		emit(bench.Fig8(o))
 		ran++
 	}
 	if want("9") {
-		hetero, homog := bench.Fig9(*iters, *seed)
+		hetero, homog := bench.Fig9(o)
 		emit(hetero)
 		emit(homog)
 		ran++
 	}
 	if want("10") {
-		emit(bench.Fig10(*iters, *seed))
+		emit(bench.Fig10(o))
 		ran++
 	}
 	if ran == 0 {
@@ -71,15 +109,52 @@ func main() {
 	}
 
 	if *ablations {
-		emit(bench.AblationDelay(32, 4, *iters, 200*time.Microsecond, *seed))
-		emit(bench.AblationNICReduce(32, *iters, 500*time.Microsecond, *seed))
-		emit(bench.AblationSignalCost(32, 4, *iters, 500*time.Microsecond, *seed))
-		emit(bench.AblationHeterogeneity(32, 4, *iters, *seed))
-		emit(bench.AblationRendezvousAB(16, *iters/4+1, 800*time.Microsecond, *seed))
+		emit(bench.AblationDelay(32, 4, 200*time.Microsecond, o))
+		emit(bench.AblationNICReduce(32, 500*time.Microsecond, o))
+		emit(bench.AblationSignalCost(32, 4, 500*time.Microsecond, o))
+		emit(bench.AblationHeterogeneity(32, 4, o))
+		emit(bench.AblationRendezvousAB(16, 800*time.Microsecond, bench.Opts{Iters: *iters/4 + 1, Seed: *seed, Workers: *parallel}))
+	}
+
+	if *sweepJSON != "" {
+		if err := writeSweepJSON(*sweepJSON, entries, time.Since(start)); err != nil {
+			fmt.Fprintf(os.Stderr, "abbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if !*csv {
-		fmt.Printf("%s in %v (iters=%d, seed=%d)\n",
-			strings.TrimSuffix(fmt.Sprintf("%d figure runs", ran), ""), time.Since(start).Round(time.Millisecond), *iters, *seed)
+		fmt.Printf("%d figure runs in %v (iters=%d, seed=%d, workers=%d)\n",
+			ran, time.Since(start).Round(time.Millisecond), *iters, *seed, sweep.Workers(*parallel, 1<<30))
 	}
+}
+
+// writeSweepJSON records each figure's sweep metrics plus totals.
+func writeSweepJSON(path string, entries []sweepEntry, elapsed time.Duration) error {
+	var total sweepEntry
+	total.Figure = "total"
+	var jobWall, wall float64
+	for _, e := range entries {
+		total.Jobs += e.Jobs
+		total.Workers = e.Workers
+		total.Events += e.Events
+		wall += e.WallMS
+		jobWall += e.JobWallMS
+	}
+	total.WallMS = wall
+	total.JobWallMS = jobWall
+	if wall > 0 {
+		total.Speedup = jobWall / wall
+		total.EventsPerSec = float64(total.Events) / (wall / 1000)
+	}
+	doc := struct {
+		ElapsedMS float64      `json:"elapsed_ms"`
+		Figures   []sweepEntry `json:"figures"`
+		Total     sweepEntry   `json:"total"`
+	}{float64(elapsed) / float64(time.Millisecond), entries, total}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

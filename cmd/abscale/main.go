@@ -21,6 +21,7 @@ func main() {
 	iters := flag.Int("iters", 100, "iterations per data point")
 	seed := flag.Int64("seed", 20030701, "simulation seed")
 	skew := flag.Duration("skew", time.Millisecond, "maximum skew for the skewed sweep")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	flag.Parse()
 
@@ -40,7 +41,8 @@ func main() {
 		{*skew, "skewed"},
 		{0, "no artificial skew"},
 	} {
-		t := bench.ScaleProjection(sizes, s.skew, *count, *iters, *seed)
+		t := bench.ScaleProjection(sizes, s.skew, *count,
+			bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel})
 		t.Title = fmt.Sprintf("%s (%s, max skew %v, %d elements)", t.Title, s.note, s.skew, *count)
 		if *csv {
 			t.WriteCSV(os.Stdout)

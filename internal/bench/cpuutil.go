@@ -97,6 +97,7 @@ type CPUUtilResult struct {
 	PerNode []sim.Time
 	Summary stats.Summary
 	Signals uint64 // total signals handled across the cluster
+	Events  uint64 // simulated events executed (simulation cost)
 }
 
 // CPUUtil runs the CPU-utilization microbenchmark.
@@ -107,6 +108,7 @@ func CPUUtil(cfg Config) CPUUtilResult {
 		panic("bench: empty cluster")
 	}
 	cl := cluster.New(cfg.clusterConfig())
+	defer cl.Close()
 
 	// Pre-generate per-(iteration, rank) skews so results are
 	// independent of execution interleaving.
@@ -167,6 +169,7 @@ func CPUUtil(cfg Config) CPUUtilResult {
 		PerNode: perNode,
 		Summary: stats.Summarize(perNode),
 		Signals: signals,
+		Events:  cl.K.Events(),
 	}
 }
 

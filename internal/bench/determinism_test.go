@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// renderAll regenerates every figure and ablation table at the given
+// worker count and renders them (text + CSV) into one string. Sizes and
+// iteration counts are reduced; what matters here is that the full set
+// of grid shapes runs through the sweep engine.
+func renderAll(t *testing.T, workers int) string {
+	t.Helper()
+	o := Opts{Iters: 2, Seed: 7, Workers: workers}
+	small := Opts{Iters: 2, Seed: 7, Workers: workers}
+	var tabs []*Table
+	tabs = append(tabs, Fig6(o), Fig7(o), Fig8(o))
+	hetero, homog := Fig9(o)
+	tabs = append(tabs, hetero, homog, Fig10(o))
+	tabs = append(tabs,
+		ScaleProjection([]int{8, 16}, 200*time.Microsecond, 4, small),
+		AblationDelay(8, 4, 100*time.Microsecond, small),
+		AblationSignalCost(8, 4, 200*time.Microsecond, small),
+		AblationHeterogeneity(8, 4, small),
+		AblationRendezvousAB(4, 300*time.Microsecond, small),
+		AblationNICReduce(8, 200*time.Microsecond, small),
+	)
+	var b strings.Builder
+	for _, tab := range tabs {
+		tab.Write(&b)
+		tab.WriteCSV(&b)
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism is the sweep engine's core guarantee: every
+// figure and ablation table must be byte-identical whether the grid ran
+// serially or on an 8-worker pool, and repeated same-seed runs must
+// match exactly.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure set in -short mode")
+	}
+	serial := renderAll(t, 1)
+	parallel := renderAll(t, 8)
+	if serial != parallel {
+		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			firstDiff(serial, parallel), firstDiff(parallel, serial))
+	}
+	again := renderAll(t, 8)
+	if parallel != again {
+		t.Fatal("repeated same-seed parallel runs differ")
+	}
+}
+
+// firstDiff returns a window around the first byte where a and b differ.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo, hi := i-120, i+120
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}
+
+// TestSweepPerfReported: figure tables carry their sweep's execution
+// metrics so callers (cmd/abbench's BENCH_sweep.json) can report
+// speedup and event throughput.
+func TestSweepPerfReported(t *testing.T) {
+	tab := AblationHeterogeneity(4, 4, Opts{Iters: 2, Seed: 3, Workers: 2})
+	p := tab.Perf
+	if p.Jobs != 4 || p.Workers != 2 {
+		t.Errorf("perf jobs/workers = %d/%d, want 4/2", p.Jobs, p.Workers)
+	}
+	if p.Events == 0 || p.Wall <= 0 || p.JobWall <= 0 {
+		t.Errorf("perf not populated: %+v", p)
+	}
+	// The rendered table must not leak run-dependent perf data.
+	var b strings.Builder
+	tab.Write(&b)
+	tab.WriteCSV(&b)
+	if strings.Contains(b.String(), "speedup") || strings.Contains(b.String(), "wall") {
+		t.Error("perf metadata leaked into rendered table")
+	}
+}

@@ -1,18 +1,41 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
 	"abred/internal/core"
 	"abred/internal/model"
 	"abred/internal/sim"
+	"abred/internal/sweep"
 )
 
 // This file regenerates every figure of the paper's evaluation (§VI).
-// Each runner sweeps the same parameters the paper swept and returns a
-// Table whose columns mirror the figure's series. Iters trades precision
-// for run time; the paper used 10,000, which also works here but is not
-// needed for stable virtual-time averages.
+// Each runner declares its parameter grid — sizes × counts × skews ×
+// cluster specs — as a list of independent sweep jobs (one simulation
+// per cell) and hands it to the sweep engine, which executes the cells
+// on a worker pool and reassembles rows in declaration order. Tables are
+// therefore byte-identical for any worker count; only Table.Perf (wall
+// clock, speedup, event throughput) reflects how the sweep ran. Iters
+// trades precision for run time; the paper used 10,000, which also works
+// here but is not needed for stable virtual-time averages.
+
+// Opts parameterizes figure regeneration.
+type Opts struct {
+	Iters   int   // benchmark iterations per data point (0 = 200)
+	Seed    int64 // simulation seed; identical seeds reproduce tables exactly
+	Workers int   // sweep worker pool size (0 = GOMAXPROCS)
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.Iters == 0 {
+		o.Iters = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 20030701 // CLUSTER 2003
+	}
+	return o
+}
 
 // us converts to microseconds for table cells.
 func us(d sim.Time) float64 { return float64(d) / float64(time.Microsecond) }
@@ -32,21 +55,95 @@ func PaperSizes() []int { return []int{2, 4, 8, 16, 32} }
 // PaperCounts are the message sizes of Figs. 6–8 in double words.
 func PaperCounts() []int { return []int{4, 32, 128} }
 
-// cpuSeries runs the CPU-utilization benchmark for both implementations
-// across message counts, returning nab columns then ab columns.
-func cpuSeries(specs []model.NodeSpec, counts []int, skew sim.Time, iters int, seed int64) []float64 {
-	row := make([]float64, 0, 2*len(counts))
-	for _, mode := range []Mode{NonAppBypass, AppBypass} {
-		for _, count := range counts {
-			r := CPUUtil(Config{Specs: specs, Count: count, Mode: mode, MaxSkew: skew, Iters: iters, Seed: seed})
-			row = append(row, us(r.AvgCPU))
-		}
-	}
-	return row
+// cpuJob wraps one CPU-utilization simulation as a pure sweep job. Its
+// value is [avg CPU µs, signals].
+func cpuJob(name string, cfg Config) sweep.Job[[]float64] {
+	return sweep.Job[[]float64]{Name: name, Seed: cfg.Seed, Run: func() ([]float64, uint64) {
+		r := CPUUtil(cfg)
+		return []float64{us(r.AvgCPU), float64(r.Signals)}, r.Events
+	}}
 }
 
-// factorCols appends nab/ab improvement-factor columns to rows produced
-// by cpuSeries.
+// latJob wraps one latency simulation as a pure sweep job. Its value is
+// [avg latency µs].
+func latJob(name string, cfg Config) sweep.Job[[]float64] {
+	return sweep.Job[[]float64]{Name: name, Seed: cfg.Seed, Run: func() ([]float64, uint64) {
+		r := Latency(cfg)
+		return []float64{us(r.AvgLatency)}, r.Events
+	}}
+}
+
+// runGrid executes a figure's cells (row-major: len(jobs)/len(xs) cells
+// per x) through the sweep engine and assembles each row with mk.
+func runGrid(t *Table, xs []float64, jobs []sweep.Job[[]float64], mk func(cells [][]float64) []float64, workers int) *Table {
+	per := len(jobs) / len(xs)
+	res := sweep.Run(t.Title, jobs, workers)
+	vals := res.Values()
+	for i, x := range xs {
+		t.X = append(t.X, x)
+		t.Rows = append(t.Rows, mk(vals[i*per:(i+1)*per]))
+	}
+	t.Perf = res.Perf
+	return t
+}
+
+// cpuModes is the implementation pair every comparison figure sweeps.
+var cpuModes = []Mode{NonAppBypass, AppBypass}
+
+// cpuGrid declares the standard CPU-utilization figure: for each x a nab
+// series and an ab series across counts, plus nab/ab factor columns.
+func cpuGrid(t *Table, fig string, xs []float64, counts []int, cfg func(xi, count int, mode Mode) Config, o Opts) *Table {
+	var jobs []sweep.Job[[]float64]
+	for xi, x := range xs {
+		for _, mode := range cpuModes {
+			for _, count := range counts {
+				jobs = append(jobs, cpuJob(
+					fmt.Sprintf("%s/x=%v/%s/n=%d", fig, x, mode, count),
+					cfg(xi, count, mode)))
+			}
+		}
+	}
+	return runGrid(t, xs, jobs, func(cells [][]float64) []float64 {
+		row := make([]float64, 0, 3*len(counts))
+		for _, c := range cells {
+			row = append(row, c[0])
+		}
+		return factorCols(row, len(counts))
+	}, o.Workers)
+}
+
+// pairGrid declares a two-implementation comparison: per x, runs cfg(x,0)
+// and cfg(x,1), rendering each row as [a, b, a/b].
+func pairGrid(t *Table, fig string, names [2]string, xs []float64, cfg func(xi, j int) Config, o Opts) *Table {
+	var jobs []sweep.Job[[]float64]
+	for xi, x := range xs {
+		for j := 0; j < 2; j++ {
+			jobs = append(jobs, cpuJob(fmt.Sprintf("%s/x=%v/%s", fig, x, names[j]), cfg(xi, j)))
+		}
+	}
+	return runGrid(t, xs, jobs, func(cells [][]float64) []float64 {
+		a, b := cells[0][0], cells[1][0]
+		return []float64{a, b, a / b}
+	}, o.Workers)
+}
+
+// latGrid declares a latency comparison: per x a nab and an ab run,
+// rendered as [nab, ab, ab-nab].
+func latGrid(t *Table, fig string, xs []float64, cfg func(xi int, mode Mode) Config, o Opts) *Table {
+	var jobs []sweep.Job[[]float64]
+	for xi, x := range xs {
+		for _, mode := range cpuModes {
+			jobs = append(jobs, latJob(fmt.Sprintf("%s/x=%v/%s", fig, x, mode), cfg(xi, mode)))
+		}
+	}
+	return runGrid(t, xs, jobs, func(cells [][]float64) []float64 {
+		nab, ab := cells[0][0], cells[1][0]
+		return []float64{nab, ab, ab - nab}
+	}, o.Workers)
+}
+
+// factorCols appends nab/ab improvement-factor columns to a row laid out
+// as nab cells then ab cells.
 func factorCols(row []float64, counts int) []float64 {
 	for j := 0; j < counts; j++ {
 		row = append(row, row[j]/row[counts+j])
@@ -54,7 +151,7 @@ func factorCols(row []float64, counts int) []float64 {
 	return row
 }
 
-// seriesCols builds the column names for cpuSeries+factorCols output.
+// seriesCols builds the column names for cpuGrid output.
 func seriesCols(counts []int) []string {
 	var cols []string
 	for _, prefix := range []string{"nab-", "ab-"} {
@@ -68,10 +165,20 @@ func seriesCols(counts []int) []string {
 	return cols
 }
 
+// floats converts an int axis to table x values.
+func floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
 // Fig6 regenerates Fig. 6: average CPU utilization (a) and factor of
 // improvement (b) for 32 nodes under varying maximum skew, with 4-, 32-
 // and 128-element double-word messages.
-func Fig6(iters int, seed int64) *Table {
+func Fig6(o Opts) *Table {
+	o = o.withDefaults()
 	counts := PaperCounts()
 	t := &Table{
 		Title: "Fig. 6 — CPU utilization vs. max skew (32 nodes, heterogeneous)",
@@ -83,18 +190,20 @@ func Fig6(iters int, seed int64) *Table {
 		},
 	}
 	specs := model.PaperCluster32()
-	for _, skew := range PaperSkews() {
-		row := cpuSeries(specs, counts, skew, iters, seed)
-		row = factorCols(row, len(counts))
-		t.X = append(t.X, us(skew))
-		t.Rows = append(t.Rows, row)
+	skews := PaperSkews()
+	xs := make([]float64, len(skews))
+	for i, s := range skews {
+		xs[i] = us(s)
 	}
-	return t
+	return cpuGrid(t, "fig6", xs, counts, func(xi, count int, mode Mode) Config {
+		return Config{Specs: specs, Count: count, Mode: mode, MaxSkew: skews[xi], Iters: o.Iters, Seed: o.Seed}
+	}, o)
 }
 
 // Fig7 regenerates Fig. 7: CPU utilization and factor of improvement
 // versus system size at maximum skew 1000 µs.
-func Fig7(iters int, seed int64) *Table {
+func Fig7(o Opts) *Table {
+	o = o.withDefaults()
 	counts := PaperCounts()
 	t := &Table{
 		Title: "Fig. 7 — CPU utilization vs. nodes (max skew 1000 us)",
@@ -105,18 +214,17 @@ func Fig7(iters int, seed int64) *Table {
 			"nodes, reaching 5.1 at 32 nodes / 4 elements.",
 		},
 	}
-	for _, size := range PaperSizes() {
-		row := cpuSeries(model.PaperCluster(size), counts, 1000*time.Microsecond, iters, seed)
-		row = factorCols(row, len(counts))
-		t.X = append(t.X, float64(size))
-		t.Rows = append(t.Rows, row)
-	}
-	return t
+	sizes := PaperSizes()
+	return cpuGrid(t, "fig7", floats(sizes), counts, func(xi, count int, mode Mode) Config {
+		return Config{Specs: model.PaperCluster(sizes[xi]), Count: count, Mode: mode,
+			MaxSkew: 1000 * time.Microsecond, Iters: o.Iters, Seed: o.Seed}
+	}, o)
 }
 
 // Fig8 regenerates Fig. 8: CPU utilization and factor of improvement
 // versus system size without artificial skew.
-func Fig8(iters int, seed int64) *Table {
+func Fig8(o Opts) *Table {
+	o = o.withDefaults()
 	counts := PaperCounts()
 	t := &Table{
 		Title: "Fig. 8 — CPU utilization vs. nodes (no artificial skew)",
@@ -128,20 +236,18 @@ func Fig8(iters int, seed int64) *Table {
 			"at 32 nodes / 128 elements.",
 		},
 	}
-	for _, size := range PaperSizes() {
-		row := cpuSeries(model.PaperCluster(size), counts, 0, iters, seed)
-		row = factorCols(row, len(counts))
-		t.X = append(t.X, float64(size))
-		t.Rows = append(t.Rows, row)
-	}
-	return t
+	sizes := PaperSizes()
+	return cpuGrid(t, "fig8", floats(sizes), counts, func(xi, count int, mode Mode) Config {
+		return Config{Specs: model.PaperCluster(sizes[xi]), Count: count, Mode: mode, Iters: o.Iters, Seed: o.Seed}
+	}, o)
 }
 
 // Fig9 regenerates Fig. 9: reduction latency versus system size without
 // skew for single-element messages, on the heterogeneous cluster (a) and
 // the homogeneous 700 MHz cluster (b).
-func Fig9(iters int, seed int64) (hetero, homog *Table) {
-	mk := func(title string, sizes []int, specsFor func(int) []model.NodeSpec) *Table {
+func Fig9(o Opts) (hetero, homog *Table) {
+	o = o.withDefaults()
+	mk := func(title, fig string, sizes []int, specsFor func(int) []model.NodeSpec) *Table {
 		t := &Table{
 			Title: title,
 			XName: "nodes",
@@ -151,22 +257,19 @@ func Fig9(iters int, seed int64) (hetero, homog *Table) {
 				"pays a signal overhead that stabilizes (Fig. 10).",
 			},
 		}
-		for _, size := range sizes {
-			nab := Latency(Config{Specs: specsFor(size), Count: 1, Mode: NonAppBypass, Iters: iters, Seed: seed})
-			ab := Latency(Config{Specs: specsFor(size), Count: 1, Mode: AppBypass, Iters: iters, Seed: seed})
-			t.X = append(t.X, float64(size))
-			t.Rows = append(t.Rows, []float64{us(nab.AvgLatency), us(ab.AvgLatency), us(ab.AvgLatency - nab.AvgLatency)})
-		}
-		return t
+		return latGrid(t, fig, floats(sizes), func(xi int, mode Mode) Config {
+			return Config{Specs: specsFor(sizes[xi]), Count: 1, Mode: mode, Iters: o.Iters, Seed: o.Seed}
+		}, o)
 	}
-	hetero = mk("Fig. 9a — reduce latency vs. nodes (heterogeneous, 1 element)", PaperSizes(), model.PaperCluster)
-	homog = mk("Fig. 9b — reduce latency vs. nodes (homogeneous 700 MHz, 1 element)", []int{2, 4, 8, 16}, model.Homogeneous700)
+	hetero = mk("Fig. 9a — reduce latency vs. nodes (heterogeneous, 1 element)", "fig9a", PaperSizes(), model.PaperCluster)
+	homog = mk("Fig. 9b — reduce latency vs. nodes (homogeneous 700 MHz, 1 element)", "fig9b", []int{2, 4, 8, 16}, model.Homogeneous700)
 	return hetero, homog
 }
 
 // Fig10 regenerates Fig. 10: reduction latency versus message size for
 // 32 nodes without skew.
-func Fig10(iters int, seed int64) *Table {
+func Fig10(o Opts) *Table {
+	o = o.withDefaults()
 	t := &Table{
 		Title: "Fig. 10 — reduce latency vs. message size (32 nodes)",
 		XName: "elements",
@@ -177,20 +280,18 @@ func Fig10(iters int, seed int64) *Table {
 		},
 	}
 	specs := model.PaperCluster32()
-	for _, count := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
-		nab := Latency(Config{Specs: specs, Count: count, Mode: NonAppBypass, Iters: iters, Seed: seed})
-		ab := Latency(Config{Specs: specs, Count: count, Mode: AppBypass, Iters: iters, Seed: seed})
-		t.X = append(t.X, float64(count))
-		t.Rows = append(t.Rows, []float64{us(nab.AvgLatency), us(ab.AvgLatency), us(ab.AvgLatency - nab.AvgLatency)})
-	}
-	return t
+	counts := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	return latGrid(t, "fig10", floats(counts), func(xi int, mode Mode) Config {
+		return Config{Specs: specs, Count: counts[xi], Mode: mode, Iters: o.Iters, Seed: o.Seed}
+	}, o)
 }
 
 // ScaleProjection extends Fig. 7/8 beyond the paper's 32 nodes — its
 // stated future work ("evaluate the performance of application-bypass
 // operations on large-scale clusters") — by replicating the interlaced
 // node mix up to the requested sizes.
-func ScaleProjection(sizes []int, skew sim.Time, count, iters int, seed int64) *Table {
+func ScaleProjection(sizes []int, skew sim.Time, count int, o Opts) *Table {
+	o = o.withDefaults()
 	t := &Table{
 		Title: "Scalability projection — CPU utilization vs. nodes",
 		XName: "nodes",
@@ -199,18 +300,16 @@ func ScaleProjection(sizes []int, skew sim.Time, count, iters int, seed int64) *
 			"Extension of Figs. 7/8 past the paper's 32-node testbed.",
 		},
 	}
-	for _, size := range sizes {
-		nab := CPUUtil(Config{Specs: model.PaperCluster(size), Count: count, Mode: NonAppBypass, MaxSkew: skew, Iters: iters, Seed: seed})
-		ab := CPUUtil(Config{Specs: model.PaperCluster(size), Count: count, Mode: AppBypass, MaxSkew: skew, Iters: iters, Seed: seed})
-		t.X = append(t.X, float64(size))
-		t.Rows = append(t.Rows, []float64{us(nab.AvgCPU), us(ab.AvgCPU), float64(nab.AvgCPU) / float64(ab.AvgCPU)})
-	}
-	return t
+	return pairGrid(t, "scale", [2]string{"nab", "ab"}, floats(sizes), func(xi, j int) Config {
+		return Config{Specs: model.PaperCluster(sizes[xi]), Count: count, Mode: cpuModes[j],
+			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed}
+	}, o)
 }
 
 // AblationDelay quantifies the §IV-E exit-delay heuristic: CPU
 // utilization and signal counts with and without lingering.
-func AblationDelay(size, count, iters int, skew sim.Time, seed int64) *Table {
+func AblationDelay(size, count int, skew sim.Time, o Opts) *Table {
+	o = o.withDefaults()
 	t := &Table{
 		Title: "Ablation — §IV-E exit delay (ab mode)",
 		XName: "delay_us",
@@ -221,23 +320,29 @@ func AblationDelay(size, count, iters int, skew sim.Time, seed int64) *Table {
 		},
 	}
 	specs := model.PaperCluster(size)
-	for _, d := range []sim.Time{0, 5 * time.Microsecond, 15 * time.Microsecond, 30 * time.Microsecond, 60 * time.Microsecond} {
+	delays := []sim.Time{0, 5 * time.Microsecond, 15 * time.Microsecond, 30 * time.Microsecond, 60 * time.Microsecond}
+	var jobs []sweep.Job[[]float64]
+	xs := make([]float64, len(delays))
+	for i, d := range delays {
+		xs[i] = us(d)
 		var pol core.DelayPolicy
 		if d > 0 {
 			pol = core.FixedDelay{D: d}
 		}
-		r := CPUUtil(Config{Specs: specs, Count: count, Mode: AppBypass, MaxSkew: skew, Iters: iters, Seed: seed, Delay: pol})
-		t.X = append(t.X, us(d))
-		t.Rows = append(t.Rows, []float64{us(r.AvgCPU), float64(r.Signals)})
+		jobs = append(jobs, cpuJob(fmt.Sprintf("delay/x=%v", d),
+			Config{Specs: specs, Count: count, Mode: AppBypass, MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Delay: pol}))
 	}
-	return t
+	return runGrid(t, xs, jobs, func(cells [][]float64) []float64 {
+		return []float64{cells[0][0], cells[0][1]}
+	}, o.Workers)
 }
 
 // AblationSignalCost sweeps the modeled cost of one NIC-raised signal.
 // Every crossover in Figs. 8–10 depends on this constant (the paper
 // calls interrupts "a substantial performance penalty" without
 // quantifying); the sweep shows how robust the headline factor is.
-func AblationSignalCost(size, count, iters int, skew sim.Time, seed int64) *Table {
+func AblationSignalCost(size, count int, skew sim.Time, o Opts) *Table {
+	o = o.withDefaults()
 	t := &Table{
 		Title: "Ablation — signal-cost sensitivity",
 		XName: "signal_us",
@@ -248,25 +353,27 @@ func AblationSignalCost(size, count, iters int, skew sim.Time, seed int64) *Tabl
 			"get more expensive.",
 		},
 	}
-	for _, sc := range []time.Duration{2, 5, 10, 20, 40} {
-		sc := sc * time.Microsecond
-		costs := model.DefaultCosts()
-		costs.SignalOvh = sc
-		costs.SignalIgnored = sc / 2
-		nab := CPUUtil(Config{Specs: model.PaperCluster(size), Count: count, Mode: NonAppBypass,
-			MaxSkew: skew, Iters: iters, Seed: seed, Costs: &costs})
-		ab := CPUUtil(Config{Specs: model.PaperCluster(size), Count: count, Mode: AppBypass,
-			MaxSkew: skew, Iters: iters, Seed: seed, Costs: &costs})
-		t.X = append(t.X, us(sc))
-		t.Rows = append(t.Rows, []float64{us(nab.AvgCPU), us(ab.AvgCPU), float64(nab.AvgCPU) / float64(ab.AvgCPU)})
+	specs := model.PaperCluster(size)
+	scosts := []time.Duration{2, 5, 10, 20, 40}
+	xs := make([]float64, len(scosts))
+	for i := range scosts {
+		scosts[i] *= time.Microsecond
+		xs[i] = us(scosts[i])
 	}
-	return t
+	return pairGrid(t, "sigcost", [2]string{"nab", "ab"}, xs, func(xi, j int) Config {
+		costs := model.DefaultCosts()
+		costs.SignalOvh = scosts[xi]
+		costs.SignalIgnored = scosts[xi] / 2
+		return Config{Specs: specs, Count: count, Mode: cpuModes[j],
+			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Costs: &costs}
+	}, o)
 }
 
 // AblationHeterogeneity isolates how much of the no-skew gap comes from
 // the hardware mix: the paper's interlaced cluster versus an idealized
 // homogeneous one of equal size.
-func AblationHeterogeneity(size, count, iters int, seed int64) *Table {
+func AblationHeterogeneity(size, count int, o Opts) *Table {
+	o = o.withDefaults()
 	t := &Table{
 		Title: "Ablation — heterogeneity's contribution to natural skew",
 		XName: "row",
@@ -276,19 +383,17 @@ func AblationHeterogeneity(size, count, iters int, seed int64) *Table {
 			"Row 1: homogeneous 1 GHz nodes. No artificial skew in either.",
 		},
 	}
-	for i, specs := range [][]model.NodeSpec{model.PaperCluster(size), model.Homogeneous1G(size)} {
-		nab := CPUUtil(Config{Specs: specs, Count: count, Mode: NonAppBypass, Iters: iters, Seed: seed})
-		ab := CPUUtil(Config{Specs: specs, Count: count, Mode: AppBypass, Iters: iters, Seed: seed})
-		t.X = append(t.X, float64(i))
-		t.Rows = append(t.Rows, []float64{us(nab.AvgCPU), us(ab.AvgCPU), float64(nab.AvgCPU) / float64(ab.AvgCPU)})
-	}
-	return t
+	clusters := [][]model.NodeSpec{model.PaperCluster(size), model.Homogeneous1G(size)}
+	return pairGrid(t, "hetero", [2]string{"nab", "ab"}, []float64{0, 1}, func(xi, j int) Config {
+		return Config{Specs: clusters[xi], Count: count, Mode: cpuModes[j], Iters: o.Iters, Seed: o.Seed}
+	}, o)
 }
 
 // AblationRendezvousAB evaluates the §V-B extension: reductions beyond
 // the eager limit, comparing the paper's fallback (size → default
 // blocking path) against rendezvous-mode bypass, under skew.
-func AblationRendezvousAB(size, iters int, skew sim.Time, seed int64) *Table {
+func AblationRendezvousAB(size int, skew sim.Time, o Opts) *Table {
+	o = o.withDefaults()
 	t := &Table{
 		Title: "Extension — rendezvous-mode bypass vs. §V-B fallback (large messages)",
 		XName: "elements",
@@ -300,22 +405,19 @@ func AblationRendezvousAB(size, iters int, skew sim.Time, seed int64) *Table {
 		},
 	}
 	specs := model.PaperCluster(size)
-	for _, count := range []int{4096, 8192, 16384} { // 32, 64, 128 KiB
-		fb := CPUUtil(Config{Specs: specs, Count: count, Mode: AppBypass,
-			MaxSkew: skew, Iters: iters, Seed: seed})
-		rv := CPUUtil(Config{Specs: specs, Count: count, Mode: AppBypass,
-			MaxSkew: skew, Iters: iters, Seed: seed, RendezvousAB: true})
-		t.X = append(t.X, float64(count))
-		t.Rows = append(t.Rows, []float64{us(fb.AvgCPU), us(rv.AvgCPU), float64(fb.AvgCPU) / float64(rv.AvgCPU)})
-	}
-	return t
+	counts := []int{4096, 8192, 16384} // 32, 64, 128 KiB
+	return pairGrid(t, "rendezvous", [2]string{"fallback", "rendezvous"}, floats(counts), func(xi, j int) Config {
+		return Config{Specs: specs, Count: counts[xi], Mode: AppBypass,
+			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, RendezvousAB: j == 1}
+	}, o)
 }
 
 // AblationNICReduce compares host-side reductions with the NIC-based
 // extension (§VII future work): the NIC frees the host entirely but pays
 // slow LANai arithmetic, so it wins for small messages under skew and
 // loses as elements grow.
-func AblationNICReduce(size, iters int, skew sim.Time, seed int64) *Table {
+func AblationNICReduce(size int, skew sim.Time, o Opts) *Table {
+	o = o.withDefaults()
 	t := &Table{
 		Title: "Extension — NIC-based reduction vs. host reductions",
 		XName: "elements",
@@ -326,12 +428,17 @@ func AblationNICReduce(size, iters int, skew sim.Time, seed int64) *Table {
 		},
 	}
 	specs := model.PaperCluster(size)
-	for _, count := range []int{4, 32, 128} {
-		nab := CPUUtil(Config{Specs: specs, Count: count, Mode: NonAppBypass, MaxSkew: skew, Iters: iters, Seed: seed})
-		ab := CPUUtil(Config{Specs: specs, Count: count, Mode: AppBypass, MaxSkew: skew, Iters: iters, Seed: seed})
-		nic := CPUUtil(Config{Specs: specs, Count: count, Mode: NICBased, MaxSkew: skew, Iters: iters, Seed: seed})
-		t.X = append(t.X, float64(count))
-		t.Rows = append(t.Rows, []float64{us(nab.AvgCPU), us(ab.AvgCPU), us(nic.AvgCPU), float64(nab.AvgCPU) / float64(nic.AvgCPU)})
+	counts := []int{4, 32, 128}
+	modes := []Mode{NonAppBypass, AppBypass, NICBased}
+	var jobs []sweep.Job[[]float64]
+	for _, count := range counts {
+		for _, mode := range modes {
+			jobs = append(jobs, cpuJob(fmt.Sprintf("nicreduce/x=%d/%s", count, mode),
+				Config{Specs: specs, Count: count, Mode: mode, MaxSkew: skew, Iters: o.Iters, Seed: o.Seed}))
+		}
 	}
-	return t
+	return runGrid(t, floats(counts), jobs, func(cells [][]float64) []float64 {
+		nab, ab, nic := cells[0][0], cells[1][0], cells[2][0]
+		return []float64{nab, ab, nic, nab / nic}
+	}, o.Workers)
 }

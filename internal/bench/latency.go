@@ -13,6 +13,7 @@ type LatencyResult struct {
 	AvgLatency sim.Time
 	OneWay     sim.Time // measured root↔last-node one-way latency
 	Summary    stats.Summary
+	Events     uint64 // simulated events executed (simulation cost)
 }
 
 // notifyTag separates notification traffic from benchmark payloads.
@@ -27,6 +28,7 @@ func Latency(cfg Config) LatencyResult {
 	cfg.defaults()
 	size := len(cfg.Specs)
 	cl := cluster.New(cfg.clusterConfig())
+	defer cl.Close()
 	root := cfg.Root
 	last := coll.LastRank(root, size)
 
@@ -89,5 +91,6 @@ func Latency(cfg Config) LatencyResult {
 		AvgLatency: stats.Mean(samples),
 		OneWay:     oneWay,
 		Summary:    stats.Summarize(samples),
+		Events:     cl.K.Events(),
 	}
 }

@@ -194,7 +194,7 @@ func TestFig10Shape(t *testing.T) {
 // TestScaleProjectionExtends: past the paper's 32 nodes the factor
 // keeps growing (its §VII scalability expectation).
 func TestScaleProjectionExtends(t *testing.T) {
-	tab := ScaleProjection([]int{32, 64}, 1000*mus, 4, 25, shapeSeed)
+	tab := ScaleProjection([]int{32, 64}, 1000*mus, 4, Opts{Iters: 25, Seed: shapeSeed})
 	f32 := tab.Rows[0][2]
 	f64 := tab.Rows[1][2]
 	if f64 <= f32 {
@@ -205,7 +205,7 @@ func TestScaleProjectionExtends(t *testing.T) {
 // TestDelayAblationReducesSignals: the §IV-E heuristic trades in-call
 // time for fewer signals.
 func TestDelayAblationReducesSignals(t *testing.T) {
-	tab := AblationDelay(16, 4, 30, 100*mus, shapeSeed)
+	tab := AblationDelay(16, 4, 100*mus, Opts{Iters: 30, Seed: shapeSeed})
 	first := tab.Rows[0][1] // signals at zero delay
 	last := tab.Rows[len(tab.Rows)-1][1]
 	if last >= first {

@@ -94,3 +94,9 @@ func (c *Cluster) Run(program Program) sim.Time {
 	}
 	return c.K.Run()
 }
+
+// Close shuts the simulation down, unblocking and exiting every parked
+// process — the daemon NIC control programs above all — so back-to-back
+// simulations in one OS process don't accumulate goroutines. The cluster
+// cannot run further programs afterwards.
+func (c *Cluster) Close() { c.K.Shutdown() }

@@ -4,13 +4,30 @@ import "container/heap"
 
 // event is a scheduled closure. Events with equal times fire in schedule
 // order (seq breaks ties), which keeps the simulation deterministic.
+//
+// Events are pooled: once popped (or compacted away) an event goes onto
+// the kernel's free list and its generation advances, so stale evrefs
+// held by earlier wake sources can never touch a recycled slot.
 type event struct {
 	t        Time
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 when popped
+	index    int    // heap index, -1 when popped
+	gen      uint64 // bumped on recycle; validates evrefs
 }
+
+// evref is a cancelation handle for a scheduled event. It stays valid
+// only while the event's generation matches: after the event fires (and
+// its storage is recycled for a later schedule), cancel through an old
+// ref is a no-op instead of a use-after-reuse bug.
+type evref struct {
+	ev  *event
+	gen uint64
+}
+
+// valid reports whether the ref still names a live scheduled event.
+func (r evref) valid() bool { return r.ev != nil && r.ev.gen == r.gen }
 
 // eventHeap is a min-heap ordered by (t, seq).
 type eventHeap []*event
@@ -46,21 +63,72 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
-// schedule enqueues fn to run at time t. It may be called from scheduler
-// context or from a running process.
-func (k *Kernel) schedule(t Time, fn func()) *event {
+// schedule enqueues fn to run at time t, reusing a pooled event when one
+// is free. It may be called from scheduler context or from a running
+// process.
+func (k *Kernel) schedule(t Time, fn func()) evref {
 	if t < k.now {
 		t = k.now
 	}
-	ev := &event{t: t, seq: k.seq, fn: fn}
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.t, ev.seq, ev.fn, ev.canceled = t, k.seq, fn, false
 	k.seq++
 	heap.Push(&k.events, ev)
-	return ev
+	return evref{ev: ev, gen: ev.gen}
 }
 
-// cancel marks ev so it will be skipped when popped.
-func (k *Kernel) cancel(ev *event) {
-	if ev != nil {
-		ev.canceled = true
+// cancel marks the referenced event so it will be skipped, provided the
+// ref is still current. Canceled entries stay in the heap until popped
+// or until enough accumulate to trigger compaction.
+func (k *Kernel) cancel(r evref) {
+	if !r.valid() || r.ev.canceled || r.ev.index < 0 {
+		return
 	}
+	r.ev.canceled = true
+	k.ncanceled++
+	k.maybeCompact()
+}
+
+// recycle returns a popped or compacted event to the free list,
+// invalidating all outstanding refs to it.
+func (k *Kernel) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	k.free = append(k.free, ev)
+}
+
+// compactMin is the heap size below which compaction is never worth it.
+const compactMin = 64
+
+// maybeCompact rebuilds the heap without canceled entries once they
+// outnumber the live ones. Long timeout-heavy simulations (GetTimeout,
+// WaitTimeout) otherwise accumulate dead timers until their one-time pop.
+// Compaction preserves the total (t, seq) order, so pop order — and with
+// it the simulation — is unchanged.
+func (k *Kernel) maybeCompact() {
+	if len(k.events) < compactMin || k.ncanceled*2 <= len(k.events) {
+		return
+	}
+	live := k.events[:0]
+	for _, ev := range k.events {
+		if ev.canceled {
+			k.recycle(ev)
+		} else {
+			ev.index = len(live)
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(k.events); i++ {
+		k.events[i] = nil
+	}
+	k.events = live
+	heap.Init(&k.events)
+	k.ncanceled = 0
 }

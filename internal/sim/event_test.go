@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCanceledEventCompaction: once canceled timers outnumber live
+// events the heap compacts, instead of carrying dead entries until their
+// far-future pop.
+func TestCanceledEventCompaction(t *testing.T) {
+	k := New(1)
+	var refs []evref
+	for i := 0; i < 1000; i++ {
+		refs = append(refs, k.schedule(Time(i+1)*time.Millisecond, func() {}))
+	}
+	for _, r := range refs[:900] {
+		k.cancel(r)
+	}
+	if len(k.events) > 200 {
+		t.Fatalf("heap holds %d entries after canceling 900 of 1000", len(k.events))
+	}
+	if live := len(k.events) - k.ncanceled; live != 100 {
+		t.Fatalf("%d live entries, want 100", live)
+	}
+	k.Run()
+	if got := k.Events(); got != 100 {
+		t.Fatalf("executed %d events, want the 100 live ones", got)
+	}
+}
+
+// TestCompactionPreservesOrder: compaction must not perturb the (t, seq)
+// pop order that determinism rests on.
+func TestCompactionPreservesOrder(t *testing.T) {
+	k := New(1)
+	var fired []int
+	var refs []evref
+	for i := 0; i < 300; i++ {
+		i := i
+		refs = append(refs, k.schedule(Time(300-i)*time.Microsecond, func() { fired = append(fired, 300-i) }))
+	}
+	// Cancel two thirds to force at least one compaction pass.
+	for i := 0; i < len(refs); i++ {
+		if i%3 != 0 {
+			k.cancel(refs[i])
+		}
+	}
+	k.Run()
+	if len(fired) != 100 {
+		t.Fatalf("%d events fired, want 100", len(fired))
+	}
+	for j := 1; j < len(fired); j++ {
+		if fired[j] < fired[j-1] {
+			t.Fatalf("events fired out of order: %d after %d", fired[j], fired[j-1])
+		}
+	}
+}
+
+// TestStaleCancelIsHarmless: canceling through a ref whose event already
+// fired (and whose storage was recycled for a newer event) must not
+// cancel the newer event.
+func TestStaleCancelIsHarmless(t *testing.T) {
+	k := New(1)
+	firstFired, secondFired := false, false
+	stale := k.schedule(time.Microsecond, func() { firstFired = true })
+	k.Spawn("canceler", func(p *Proc) {
+		p.Sleep(2 * time.Microsecond) // first event has fired; its struct is pooled
+		k.schedule(k.now+time.Microsecond, func() { secondFired = true })
+		k.cancel(stale)               // stale: generation advanced on recycle
+		p.Sleep(2 * time.Microsecond) // keep the sim alive until it fires
+	})
+	k.Run()
+	if !firstFired || !secondFired {
+		t.Fatalf("fired=%v,%v; stale cancel must be a no-op", firstFired, secondFired)
+	}
+}
+
+// TestEventPoolReuse: the kernel recycles event structs instead of
+// allocating one per schedule.
+func TestEventPoolReuse(t *testing.T) {
+	k := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 1000 {
+			k.After(time.Microsecond, tick)
+		}
+	}
+	k.After(time.Microsecond, tick)
+	k.Run()
+	// A pure event chain keeps exactly one struct in flight.
+	if len(k.free) > 4 {
+		t.Fatalf("free list grew to %d for a single event chain", len(k.free))
+	}
+	if k.Events() != 1000 {
+		t.Fatalf("Events() = %d, want 1000", k.Events())
+	}
+}

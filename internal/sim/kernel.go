@@ -11,7 +11,9 @@
 //
 // All sim API calls must be made either from a running Proc's goroutine or
 // from a closure scheduled with Kernel.After; the kernel is not safe for
-// use from free-running goroutines.
+// use from free-running goroutines. Distinct kernels share nothing, so
+// whole simulations may run concurrently (one kernel per goroutine); the
+// sweep engine in internal/sweep relies on exactly that.
 package sim
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -29,9 +32,12 @@ type Time = time.Duration
 
 // Kernel is a discrete-event scheduler with a virtual clock.
 type Kernel struct {
-	now    Time
-	events eventHeap
-	seq    uint64
+	now       Time
+	events    eventHeap
+	free      []*event // recycled event structs (see event.go)
+	seq       uint64
+	ncanceled int    // canceled entries still sitting in the heap
+	nexec     uint64 // events executed since New
 
 	procs   map[int]*Proc
 	nextID  int
@@ -45,6 +51,7 @@ type Kernel struct {
 
 	panicked any
 	stopped  bool
+	shutdown bool
 }
 
 // New returns a kernel whose random streams derive from seed.
@@ -61,6 +68,11 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Seed returns the seed the kernel was created with.
 func (k *Kernel) Seed() int64 { return k.seed }
+
+// Events returns the number of events executed so far — the kernel's
+// measure of simulation work, used by the sweep engine's throughput
+// accounting.
+func (k *Kernel) Events() uint64 { return k.nexec }
 
 // RNG returns the kernel's root random stream. Use NewRNG for independent
 // per-component streams.
@@ -82,6 +94,9 @@ func (k *Kernel) After(d Time, fn func()) { k.schedule(k.now+d, fn) }
 // Spawn starts a new simulated process executing fn. The process begins
 // running at the current virtual time, after already-scheduled events.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	if k.shutdown {
+		panic("sim: Spawn after Shutdown")
+	}
 	k.nextID++
 	p := &Proc{
 		k:      k,
@@ -126,13 +141,18 @@ func (k *Kernel) Run() Time {
 	for len(k.events) > 0 && !k.stopped {
 		ev := heap.Pop(&k.events).(*event)
 		if ev.canceled {
+			k.ncanceled--
+			k.recycle(ev)
 			continue
 		}
 		if ev.t < k.now {
 			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", k.now, ev.t))
 		}
 		k.now = ev.t
-		ev.fn()
+		fn := ev.fn
+		k.recycle(ev)
+		k.nexec++
+		fn()
 		if k.panicked != nil {
 			panic(k.panicked)
 		}
@@ -149,11 +169,42 @@ func (k *Kernel) Run() Time {
 }
 
 // Stop makes Run return after the current event completes. Parked
-// processes are abandoned (their goroutines exit when the test binary
-// does); Stop is intended for tests and bounded simulations.
+// processes stay parked; call Shutdown to release their goroutines.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// stuckReport lists live processes and why they are parked.
+// Shutdown terminates every live process — daemons included, and any
+// process abandoned mid-park by Stop or end-of-Run — releasing their
+// goroutines. Without it, each finished simulation leaks one parked
+// goroutine per surviving process (NIC control programs above all),
+// which adds up across the thousands of independent simulations a single
+// bench process now runs.
+//
+// Shutdown must be called from outside the simulation, after Run has
+// returned (or panicked). The kernel is dead afterwards: Run must not be
+// called again and Spawn panics.
+func (k *Kernel) Shutdown() {
+	if k.running != nil {
+		panic("sim: Shutdown from inside a running process")
+	}
+	for id, p := range k.procs {
+		if !p.done {
+			p.killed = true
+			p.resume <- struct{}{}
+			<-p.parked
+		}
+		delete(k.procs, id)
+	}
+	k.ndCount = 0
+	k.events = nil
+	k.free = nil
+	k.ncanceled = 0
+	k.stopped = true
+	k.shutdown = true
+}
+
+// stuckReport lists live non-daemon processes and why they are parked,
+// followed by a summary of parked daemons (NIC control programs and the
+// like) so hangs involving them are diagnosable too.
 func (k *Kernel) stuckReport() string {
 	ids := make([]int, 0, len(k.procs))
 	for id := range k.procs {
@@ -161,12 +212,25 @@ func (k *Kernel) stuckReport() string {
 	}
 	sort.Ints(ids)
 	s := ""
+	daemons := 0
+	var dsample []string
 	for _, id := range ids {
 		p := k.procs[id]
 		if p.daemon {
+			daemons++
+			if len(dsample) < 4 {
+				dsample = append(dsample, fmt.Sprintf("%q on %q", p.name, p.reason))
+			}
 			continue
 		}
 		s += fmt.Sprintf("  proc %d %q parked on %q\n", p.id, p.name, p.reason)
+	}
+	if daemons > 0 {
+		suffix := ""
+		if daemons > len(dsample) {
+			suffix = ", ..."
+		}
+		s += fmt.Sprintf("  (+%d daemon procs parked: %s%s)\n", daemons, strings.Join(dsample, ", "), suffix)
 	}
 	return s
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // Proc is a simulated process. Its function runs on a dedicated goroutine,
 // but the kernel guarantees only one Proc executes at a time; every
@@ -16,10 +19,11 @@ type Proc struct {
 
 	done     bool
 	daemon   bool
+	killed   bool // Kernel.Shutdown: exit instead of resuming
 	panicked any
 	reason   string // what the proc is parked on, for deadlock reports
 
-	wake *event // pending wake event, if parked on one
+	wake evref // pending wake event, if parked on one
 
 	// Signal-handler support (see Interrupt / SpinInterruptible).
 	intr          []func()
@@ -71,9 +75,10 @@ func (p *Proc) Busy() Time { return p.busy }
 func (p *Proc) AddBusy(d Time) { p.busy += d }
 
 // run executes the process body, catching panics so they surface from
-// Kernel.Run instead of killing a bare goroutine.
+// Kernel.Run instead of killing a bare goroutine. The deferred handler
+// also runs when Kernel.Shutdown kills the process mid-park (park exits
+// via runtime.Goexit), so the kernel can always hand-shake on p.parked.
 func (p *Proc) run(fn func(p *Proc)) {
-	<-p.resume
 	defer func() {
 		if r := recover(); r != nil {
 			p.panicked = fmt.Sprintf("sim: proc %q panicked: %v", p.name, r)
@@ -81,11 +86,17 @@ func (p *Proc) run(fn func(p *Proc)) {
 		p.done = true
 		p.parked <- struct{}{}
 	}()
+	<-p.resume
+	if p.killed {
+		return
+	}
 	fn(p)
 }
 
 // park returns control to the scheduler until a wake event resumes this
-// process. reason appears in deadlock reports.
+// process. reason appears in deadlock reports. If the kernel is shutting
+// down, park never returns: the goroutine exits through its deferred
+// completion handler.
 func (p *Proc) park(reason string) {
 	if p.k.running != p {
 		panic(fmt.Sprintf("sim: park of %q from outside its own context", p.name))
@@ -93,6 +104,9 @@ func (p *Proc) park(reason string) {
 	p.reason = reason
 	p.parked <- struct{}{}
 	<-p.resume
+	if p.killed {
+		runtime.Goexit()
+	}
 	p.reason = ""
 }
 
@@ -100,12 +114,12 @@ func (p *Proc) park(reason string) {
 // while a wake is already pending, so racing wake sources (Put plus
 // timeout, Broadcast plus Interrupt) cannot double-resume a process.
 func (p *Proc) wakeAt(t Time) {
-	if p.wake != nil {
+	if p.wake.valid() {
 		return
 	}
 	k := p.k
 	p.wake = k.schedule(t, func() {
-		p.wake = nil
+		p.wake = evref{}
 		k.resumeProc(p)
 	})
 }
@@ -146,10 +160,10 @@ func (p *Proc) Yield() {
 // own running context.
 func (p *Proc) Interrupt(fn func()) {
 	p.intr = append(p.intr, fn)
-	if p.interruptible && p.wake != nil {
+	if p.interruptible && p.wake.valid() {
 		// Preempt the interruptible sleep: fire the wake now.
 		p.k.cancel(p.wake)
-		p.wake = nil
+		p.wake = evref{}
 		p.wakeAt(p.k.now)
 	}
 }

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShutdownReleasesGoroutines is the leak regression test: many
+// back-to-back simulations, each leaving daemons and Stop-abandoned
+// processes parked, must not accumulate goroutines once Shutdown runs.
+func TestShutdownReleasesGoroutines(t *testing.T) {
+	countGoroutines := func() int {
+		runtime.GC()
+		return runtime.NumGoroutine()
+	}
+	base := countGoroutines()
+	for i := 0; i < 100; i++ {
+		k := New(int64(i))
+		q := NewQueue[int]("work")
+		// A daemon parked forever on its queue, like a NIC control program.
+		d := k.Spawn("lanai", func(p *Proc) {
+			for {
+				q.Get(p)
+			}
+		})
+		d.SetDaemon(true)
+		// A proc the kernel abandons mid-sleep when Stop fires.
+		k.Spawn("stuck", func(p *Proc) { p.Sleep(time.Hour) })
+		k.Spawn("main", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			k.Stop()
+		})
+		k.Run()
+		k.Shutdown()
+	}
+	// Exiting goroutines finish an instant after the shutdown handshake;
+	// poll briefly before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := countGoroutines(); n <= base+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", base, countGoroutines())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShutdownIdempotentAndSpawnPanics: double Shutdown is harmless;
+// Spawn afterwards is a programming error.
+func TestShutdownAfterRun(t *testing.T) {
+	k := New(1)
+	k.Spawn("p", func(p *Proc) { p.Sleep(time.Microsecond) })
+	k.Run()
+	k.Shutdown()
+	k.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spawn after Shutdown should panic")
+		}
+	}()
+	k.Spawn("late", func(p *Proc) {})
+}
+
+// TestShutdownKillsNeverStartedProc: a process spawned but never resumed
+// (its start event still pending when Run stops) must also be released
+// without running its body.
+func TestShutdownKillsNeverStartedProc(t *testing.T) {
+	k := New(1)
+	ran := false
+	k.Stop() // Run returns immediately; the start event never fires
+	k.Spawn("never", func(p *Proc) { ran = true })
+	k.Run()
+	k.Shutdown()
+	if ran {
+		t.Fatal("killed process body ran")
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("%d live procs after Shutdown", k.LiveProcs())
+	}
+}
+
+// TestStuckReportIncludesDaemons: the deadlock report summarizes parked
+// daemon processes so NIC-control-program hangs are diagnosable.
+func TestStuckReportIncludesDaemons(t *testing.T) {
+	k := New(1)
+	q := NewQueue[int]("ctrl")
+	for i := 0; i < 6; i++ {
+		d := k.Spawn("lanai", func(p *Proc) { q.Get(p) })
+		d.SetDaemon(true)
+	}
+	k.Spawn("rank0", func(p *Proc) { NewQueue[int]("recv").Get(p) })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		msg := r.(string)
+		if !strings.Contains(msg, `"rank0"`) {
+			t.Errorf("report missing stuck proc: %s", msg)
+		}
+		if !strings.Contains(msg, "+6 daemon procs parked") {
+			t.Errorf("report missing daemon summary: %s", msg)
+		}
+		if !strings.Contains(msg, ", ...") {
+			t.Errorf("report should elide daemons past the sample: %s", msg)
+		}
+		k.Shutdown()
+	}()
+	k.Run()
+}

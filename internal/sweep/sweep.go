@@ -1,0 +1,152 @@
+// Package sweep executes grids of independent simulations across a
+// bounded worker pool.
+//
+// One figure of the paper's evaluation is hundreds of self-contained
+// simulation runs: each builds its own kernel, cluster and RNG streams
+// from an explicit seed and shares nothing with its neighbours. A Job
+// models exactly that — a pure function of its declared parameters and
+// seed producing a Point — which makes the grid embarrassingly parallel.
+//
+// Determinism guarantee: Run reassembles results positionally, so
+// Points[i] always belongs to Jobs[i] no matter which worker computed it
+// or in what order jobs finished. With pure jobs, output is bit-for-bit
+// identical for any worker count, including 1 (serial). Only the Perf
+// block — wall-clock, throughput — varies between runs.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one independent simulation run. Run must be pure: it builds its
+// entire world (kernel, cluster, RNG streams) from its captured spec and
+// Seed, touches no shared state, and returns its result plus the number
+// of simulated events it executed.
+type Job[T any] struct {
+	Name string // for diagnostics; "fig6/skew=300us/ab/n=4"
+	Seed int64
+	Run  func() (T, uint64)
+}
+
+// Point is one completed job: its value plus the engine's measurements.
+type Point[T any] struct {
+	Value  T
+	Events uint64        // simulated events the job executed
+	Wall   time.Duration // real time the job took
+}
+
+// Perf summarizes how a sweep executed; it is reporting-only and never
+// part of rendered tables (which must stay byte-identical across worker
+// counts).
+type Perf struct {
+	Name    string
+	Jobs    int
+	Workers int
+	Wall    time.Duration // elapsed wall-clock for the whole sweep
+	JobWall time.Duration // sum of per-job wall-clock (serial equivalent)
+	Events  uint64        // simulated events across all jobs
+}
+
+// Speedup is the sweep's parallel speedup: serial-equivalent time over
+// elapsed time.
+func (p Perf) Speedup() float64 {
+	if p.Wall <= 0 {
+		return 0
+	}
+	return float64(p.JobWall) / float64(p.Wall)
+}
+
+// EventsPerSec is simulated-event throughput over the sweep's wall time.
+func (p Perf) EventsPerSec() float64 {
+	if p.Wall <= 0 {
+		return 0
+	}
+	return float64(p.Events) / p.Wall.Seconds()
+}
+
+// Result pairs a sweep's points (in job order) with its execution
+// summary.
+type Result[T any] struct {
+	Points []Point[T]
+	Perf   Perf
+}
+
+// Values returns the job results alone, in job order.
+func (r *Result[T]) Values() []T {
+	vs := make([]T, len(r.Points))
+	for i, p := range r.Points {
+		vs[i] = p.Value
+	}
+	return vs
+}
+
+// Workers resolves a requested worker count: n <= 0 means GOMAXPROCS,
+// and a pool never exceeds the number of jobs.
+func Workers(n, jobs int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Sweep is an ordered set of independent jobs — one declared grid.
+type Sweep[T any] struct {
+	Name string
+	Jobs []Job[T]
+}
+
+// Run executes the sweep on a pool of workers (<= 0 selects GOMAXPROCS)
+// and returns the points in job order.
+func (s Sweep[T]) Run(workers int) *Result[T] {
+	workers = Workers(workers, len(s.Jobs))
+	points := make([]Point[T], len(s.Jobs))
+	start := time.Now()
+	if workers <= 1 {
+		for i := range s.Jobs {
+			points[i] = runJob(s.Jobs[i])
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					points[i] = runJob(s.Jobs[i])
+				}
+			}()
+		}
+		for i := range s.Jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	perf := Perf{Name: s.Name, Jobs: len(s.Jobs), Workers: workers, Wall: time.Since(start)}
+	for i := range points {
+		perf.JobWall += points[i].Wall
+		perf.Events += points[i].Events
+	}
+	return &Result[T]{Points: points, Perf: perf}
+}
+
+// Run is the convenience form: execute jobs as a named sweep.
+func Run[T any](name string, jobs []Job[T], workers int) *Result[T] {
+	return Sweep[T]{Name: name, Jobs: jobs}.Run(workers)
+}
+
+// runJob executes one job, timing it.
+func runJob[T any](j Job[T]) Point[T] {
+	t0 := time.Now()
+	v, events := j.Run()
+	return Point[T]{Value: v, Events: events, Wall: time.Since(t0)}
+}

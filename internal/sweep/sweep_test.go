@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// squareJobs builds n jobs whose results encode their index, with
+// deliberately uneven run times so parallel completion order scrambles.
+func squareJobs(n int) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Name: fmt.Sprintf("sq/%d", i),
+			Seed: int64(i),
+			Run: func() (int, uint64) {
+				time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
+				return i * i, uint64(i)
+			},
+		}
+	}
+	return jobs
+}
+
+// TestOrderedReassembly: points come back in job order for every worker
+// count, regardless of completion order.
+func TestOrderedReassembly(t *testing.T) {
+	const n = 40
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 8, 64} {
+		res := Run("squares", squareJobs(n), workers)
+		if got := res.Values(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results out of order: %v", workers, got)
+		}
+		if res.Perf.Jobs != n {
+			t.Errorf("workers=%d: Perf.Jobs = %d", workers, res.Perf.Jobs)
+		}
+		if res.Perf.Workers > n {
+			t.Errorf("pool larger than job count: %d", res.Perf.Workers)
+		}
+	}
+}
+
+// TestPerfAccounting: events aggregate exactly; job wall-clock sums; the
+// serial pool reports workers=1.
+func TestPerfAccounting(t *testing.T) {
+	res := Run("acct", squareJobs(10), 1)
+	if res.Perf.Workers != 1 {
+		t.Errorf("workers = %d, want 1", res.Perf.Workers)
+	}
+	if res.Perf.Events != 45 { // 0+1+...+9
+		t.Errorf("events = %d, want 45", res.Perf.Events)
+	}
+	if res.Perf.JobWall <= 0 || res.Perf.Wall <= 0 {
+		t.Errorf("timings not recorded: %+v", res.Perf)
+	}
+	if res.Perf.Speedup() <= 0 || res.Perf.EventsPerSec() <= 0 {
+		t.Errorf("derived metrics not positive: %+v", res.Perf)
+	}
+	if (Perf{}).Speedup() != 0 || (Perf{}).EventsPerSec() != 0 {
+		t.Error("zero Perf must not divide by zero")
+	}
+}
+
+// TestBoundedConcurrency: no more than the requested number of jobs run
+// simultaneously.
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	jobs := make([]Job[struct{}], 24)
+	for i := range jobs {
+		jobs[i] = Job[struct{}]{Run: func() (struct{}, uint64) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			inFlight.Add(-1)
+			return struct{}{}, 0
+		}}
+	}
+	Run("bounded", jobs, workers)
+	if p := peak.Load(); p > workers {
+		t.Fatalf("%d jobs in flight, pool bound is %d", p, workers)
+	}
+}
+
+// TestWorkersResolution covers the sizing rules.
+func TestWorkersResolution(t *testing.T) {
+	if w := Workers(0, 100); w < 1 {
+		t.Errorf("default workers = %d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Errorf("pool should shrink to job count: %d", w)
+	}
+	if w := Workers(-1, 0); w != 1 {
+		t.Errorf("empty sweep still needs a floor of 1: %d", w)
+	}
+}
+
+// TestEmptySweep: zero jobs is a valid, empty result.
+func TestEmptySweep(t *testing.T) {
+	res := Run[int]("empty", nil, 4)
+	if len(res.Points) != 0 || res.Perf.Jobs != 0 {
+		t.Fatalf("unexpected result for empty sweep: %+v", res.Perf)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"abred/internal/sim"
 	"abred/internal/skew"
 	"abred/internal/stats"
+	"abred/internal/sweep"
 )
 
 // Style selects the reduction implementation the application uses.
@@ -90,6 +91,7 @@ type Result struct {
 	ReduceCalls stats.Summary // per-rank time inside reduction calls
 	Signals     uint64        // signals handled across the cluster
 	RootResults []float64     // first element of each reduction, rank 0
+	Events      uint64        // simulated events executed
 }
 
 // Run executes the application with the given style.
@@ -100,6 +102,7 @@ func Run(cfg Config, style Style) Result {
 		panic("workload: need at least two ranks")
 	}
 	cl := cluster.New(cluster.Config{Specs: cfg.Specs, Seed: cfg.Seed})
+	defer cl.Close()
 
 	delays := skew.Matrix(cfg.Imbalance, cl.K.NewRNG(), cfg.Iters, size)
 	inCall := make([]sim.Time, size)
@@ -173,6 +176,7 @@ func Run(cfg Config, style Style) Result {
 		ReduceCalls: stats.Summarize(inCall),
 		Signals:     signals,
 		RootResults: rootResults,
+		Events:      cl.K.Events(),
 	}
 }
 
@@ -228,9 +232,22 @@ func ExpectedRootSum(size, it, rd int) float64 {
 // Compare runs the same application under several styles and returns
 // results in order.
 func Compare(cfg Config, styles ...Style) []Result {
-	out := make([]Result, len(styles))
+	return CompareParallel(cfg, 1, styles...)
+}
+
+// CompareParallel is Compare across a worker pool: each style's run is
+// an independent simulation (own kernel, own cluster, same seed), so the
+// runs execute concurrently and the results — assembled in style order —
+// are identical to Compare's.
+func CompareParallel(cfg Config, workers int, styles ...Style) []Result {
+	jobs := make([]sweep.Job[Result], len(styles))
 	for i, s := range styles {
-		out[i] = Run(cfg, s)
+		s := s
+		jobs[i] = sweep.Job[Result]{Name: "workload/" + s.String(), Seed: cfg.Seed,
+			Run: func() (Result, uint64) {
+				r := Run(cfg, s)
+				return r, r.Events
+			}}
 	}
-	return out
+	return sweep.Run("workload", jobs, workers).Values()
 }
