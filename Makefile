@@ -11,10 +11,19 @@ test:
 	go build ./... && go test ./...
 
 # Regenerate every figure on a full worker pool and record the sweep's
-# execution metrics (wall-clock, speedup, events/sec) in BENCH_sweep.json.
+# execution metrics (wall-clock, speedup, events/sec) in BENCH_sweep.json,
+# then run the large-scale projection out to 1024 nodes and record kernel
+# performance (events/sec, allocs/event, microbenchmark vs. the recorded
+# pre-overhaul baseline) in BENCH_kernel.json.
 .PHONY: bench
 bench:
 	go run ./cmd/abbench -fig all -ablations -parallel 0 -sweepjson BENCH_sweep.json
+	go run ./cmd/abscale -sizes 32,128,512,1024 -iters 100 -parallel 0 -csv -benchjson BENCH_kernel.json
+
+# The kernel throughput benchmark alone (Go benchmark form).
+.PHONY: bench-kernel
+bench-kernel:
+	go test ./internal/bench -run '^$$' -bench BenchmarkKernelEventsPerSec -benchtime 3x -count 1
 
 # Paranoia target: the figure set must be byte-identical serial vs
 # parallel. Slow; the same property is asserted by TestParallelDeterminism.

@@ -4,36 +4,90 @@
 // clusters"). It replicates the paper's interlaced heterogeneous node
 // mix out to the requested sizes and reports average per-node CPU
 // utilization for both implementations, skewed and unskewed.
+//
+// Usage:
+//
+//	abscale [-max N | -sizes 32,128,512,1024] [-count N] [-iters N]
+//	        [-seed N] [-skew D] [-parallel N] [-csv] [-benchjson FILE]
+//
+// -sizes names the node counts directly, overriding the -max doubling
+// grid. -benchjson records the kernel's execution metrics — events/sec
+// and allocs/event for each sweep, plus the fixed 32-node kernel
+// microbenchmark against its recorded pre-overhaul baseline — to FILE
+// (the committed BENCH_kernel.json is produced this way via make bench).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"abred/internal/bench"
+	"abred/internal/sweep"
 )
+
+// perfEntry is one sweep's execution record in -benchjson output.
+type perfEntry struct {
+	Sweep          string  `json:"sweep"`
+	Jobs           int     `json:"jobs"`
+	Workers        int     `json:"workers"`
+	WallMS         float64 `json:"wall_ms"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Allocs         uint64  `json:"allocs"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+func entry(name string, p sweep.Perf) perfEntry {
+	return perfEntry{
+		Sweep:          name,
+		Jobs:           p.Jobs,
+		Workers:        p.Workers,
+		WallMS:         float64(p.Wall) / float64(time.Millisecond),
+		Events:         p.Events,
+		EventsPerSec:   p.EventsPerSec(),
+		Allocs:         p.Allocs,
+		AllocsPerEvent: p.AllocsPerEvent(),
+	}
+}
 
 func main() {
 	max := flag.Int("max", 256, "largest cluster size (power of two)")
+	sizesFlag := flag.String("sizes", "", "comma-separated node counts (overrides -max)")
 	count := flag.Int("count", 4, "message elements (double words)")
 	iters := flag.Int("iters", 100, "iterations per data point")
 	seed := flag.Int64("seed", 20030701, "simulation seed")
 	skew := flag.Duration("skew", time.Millisecond, "maximum skew for the skewed sweep")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV")
+	benchJSON := flag.String("benchjson", "", "write kernel performance metrics here (empty to disable)")
 	flag.Parse()
 
 	var sizes []int
-	for n := 8; n <= *max; n *= 2 {
-		sizes = append(sizes, n)
+	if *sizesFlag != "" {
+		for _, f := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 2 {
+				fmt.Fprintf(os.Stderr, "abscale: bad -sizes entry %q\n", f)
+				os.Exit(2)
+			}
+			sizes = append(sizes, n)
+		}
+	} else {
+		for n := 8; n <= *max; n *= 2 {
+			sizes = append(sizes, n)
+		}
 	}
 	if len(sizes) == 0 {
 		fmt.Fprintln(os.Stderr, "abscale: -max must be at least 8")
 		os.Exit(2)
 	}
 
+	var entries []perfEntry
 	for _, s := range []struct {
 		skew time.Duration
 		note string
@@ -50,5 +104,50 @@ func main() {
 		} else {
 			t.Write(os.Stdout)
 		}
+		entries = append(entries, entry(s.note, t.Perf))
 	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, sizes, *iters, *seed, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "abscale: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeBenchJSON records the scaling sweeps' execution metrics plus the
+// fixed kernel microbenchmark, side by side with its recorded
+// pre-overhaul baseline.
+func writeBenchJSON(path string, sizes []int, iters int, seed int64, entries []perfEntry) error {
+	micro := bench.KernelMicrobench(bench.AppBypass, 50, 20030701)
+	microNab := bench.KernelMicrobench(bench.NonAppBypass, 50, 20030701)
+	doc := struct {
+		Workload string `json:"workload"`
+		Sizes    []int  `json:"sizes"`
+		Iters    int    `json:"iters"`
+		Seed     int64  `json:"seed"`
+		Baseline struct {
+			EventsPerSec   float64 `json:"events_per_sec"`
+			AllocsPerEvent float64 `json:"allocs_per_event"`
+		} `json:"kernel_microbench_baseline"`
+		Micro       bench.KernelMicrobenchResult `json:"kernel_microbench_ab"`
+		MicroNab    bench.KernelMicrobenchResult `json:"kernel_microbench_nab"`
+		SpeedupX    float64                      `json:"microbench_speedup_vs_baseline"`
+		AllocRatioX float64                      `json:"microbench_alloc_reduction_vs_baseline"`
+		ScalingPerf []perfEntry                  `json:"scaling_sweeps"`
+	}{Workload: "32-node Fig. 6 CPU-utilization workload (count=4, skew=1ms, iters=50, seed=20030701)",
+		Sizes: sizes, Iters: iters, Seed: seed, Micro: micro, MicroNab: microNab, ScalingPerf: entries}
+	doc.Baseline.EventsPerSec = bench.BaselineEventsPerSec
+	doc.Baseline.AllocsPerEvent = bench.BaselineAllocsPerEvent
+	if doc.Baseline.EventsPerSec > 0 {
+		doc.SpeedupX = micro.EventsPerSec / doc.Baseline.EventsPerSec
+	}
+	if micro.AllocsPerEvent > 0 {
+		doc.AllocRatioX = doc.Baseline.AllocsPerEvent / micro.AllocsPerEvent
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

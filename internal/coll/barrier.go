@@ -22,21 +22,20 @@ func Barrier(c *mpi.Comm) {
 	upTag := seqTag(seq * 2)
 	downTag := seqTag(seq*2 + 1)
 	parent := Parent(rank, 0, size)
-	children := Children(rank, 0, size)
 	var token [1]byte
 
 	// Combine phase: wait for the whole subtree, then report up.
-	for _, child := range children {
+	EachChild(rank, 0, size, func(child int) {
 		pr.Recv(ctx, child, upTag, token[:])
-	}
+	})
 	if parent >= 0 {
 		pr.Send(mpi.SendArgs{Dst: parent, Ctx: ctx, Tag: upTag, Data: token[:]})
 		pr.Recv(ctx, parent, downTag, token[:])
 	}
 	// Release phase: forward the release down the subtree.
-	for _, child := range children {
+	EachChild(rank, 0, size, func(child int) {
 		pr.Send(mpi.SendArgs{Dst: child, Ctx: ctx, Tag: downTag, Data: token[:]})
-	}
+	})
 }
 
 // BarrierDissemination is the dissemination barrier: ceil(log2 n)

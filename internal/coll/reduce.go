@@ -33,9 +33,8 @@ func ReduceOnKind(c *mpi.Comm, kind mpi.CtxKind, seq uint64, sendbuf, recvbuf []
 	tag := seqTag(seq)
 	rank, size := c.Rank(), c.Size()
 	parent := Parent(rank, root, size)
-	children := Children(rank, root, size)
 
-	if len(children) == 0 {
+	if ChildCount(rank, root, size) == 0 {
 		if parent < 0 { // single-process communicator
 			copy(recvbuf[:n], sendbuf[:n])
 			return
@@ -54,11 +53,11 @@ func ReduceOnKind(c *mpi.Comm, kind mpi.CtxKind, seq uint64, sendbuf, recvbuf []
 	copy(acc, sendbuf[:n])
 
 	tmp := make([]byte, n)
-	for _, child := range children {
+	EachChild(rank, root, size, func(child int) {
 		pr.Recv(ctx, child, tag, tmp)
 		pr.P.Spin(pr.CM.ReduceOp(count, dt.Size()))
 		mpi.Apply(op, dt, acc, tmp, count)
-	}
+	})
 
 	if parent < 0 {
 		copy(recvbuf[:n], acc)

@@ -29,24 +29,49 @@ func Parent(rank, root, size int) int {
 // in ascending mask order — the order the default MPICH reduction
 // receives them in.
 func Children(rank, root, size int) []int {
+	var kids []int
+	EachChild(rank, root, size, func(c int) { kids = append(kids, c) })
+	return kids
+}
+
+// EachChild visits rank's children in ascending mask order — the same
+// order Children returns them in — without materializing the slice. The
+// hot collective paths use it to keep per-operation allocations off the
+// tree walk.
+func EachChild(rank, root, size int, f func(child int)) {
 	checkTreeArgs(rank, root, size)
 	rel := (rank - root + size) % size
-	var kids []int
 	for mask := 1; mask < size; mask <<= 1 {
 		if rel&mask != 0 {
 			break
 		}
 		child := rel | mask
 		if child < size {
-			kids = append(kids, (child+root)%size)
+			f((child + root) % size)
 		}
 	}
-	return kids
+}
+
+// ChildCount returns the number of children rank has in the tree rooted
+// at root.
+func ChildCount(rank, root, size int) int {
+	checkTreeArgs(rank, root, size)
+	rel := (rank - root + size) % size
+	n := 0
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask != 0 {
+			break
+		}
+		if rel|mask < size {
+			n++
+		}
+	}
+	return n
 }
 
 // IsLeaf reports whether rank has no children in the tree rooted at
 // root.
-func IsLeaf(rank, root, size int) bool { return len(Children(rank, root, size)) == 0 }
+func IsLeaf(rank, root, size int) bool { return ChildCount(rank, root, size) == 0 }
 
 // Depth returns the tree depth: ceil(log2(size)).
 func Depth(size int) int {

@@ -51,13 +51,13 @@ func (e *Engine) hookBcast(pkt *gm.Packet) bool {
 	}
 
 	// Forward to this node's subtree children immediately.
-	for _, child := range coll.Children(rank, int(pkt.Root), size) {
+	coll.EachChild(rank, int(pkt.Root), size, func(child int) {
 		pr.Isend(mpi.SendArgs{
 			Dst: child, Ctx: pkt.Ctx, Tag: pkt.Tag, Data: pkt.Data,
 			Collective: true, Root: pkt.Root, Seq: pkt.Seq,
 		})
 		e.Metrics.BcastForwards++
-	}
+	})
 
 	key := bcastKey{ctx: pkt.Ctx, seq: pkt.Seq}
 	if inst, ok := e.bcast.pending[key]; ok {
@@ -127,12 +127,12 @@ func (e *Engine) ibcast(c *mpi.Comm, buf []byte, count int, dt mpi.Datatype, roo
 	ctx := c.Ctx(mpi.CtxBcast)
 	rank, size := c.Rank(), c.Size()
 	if rank == root {
-		for _, child := range coll.Children(rank, root, size) {
+		coll.EachChild(rank, root, size, func(child int) {
 			pr.Isend(mpi.SendArgs{
 				Dst: child, Ctx: ctx, Tag: seqTag(seq), Data: buf[:n],
 				Collective: true, Root: int32(root), Seq: seq,
 			})
-		}
+		})
 		return nil
 	}
 

@@ -67,6 +67,11 @@ type Engine struct {
 	// 'A' = async handler) for timeline visualization.
 	traceFn func(kind byte, start, end sim.Time)
 
+	// sigFn is the bound onSignal method, captured once: creating the
+	// method value inside the signal handler would allocate a closure
+	// per raised signal.
+	sigFn func()
+
 	Metrics Metrics
 }
 
@@ -89,9 +94,10 @@ func NewEngine(pr *mpi.Process) *Engine {
 	e.bcast.pending = make(map[bcastKey]*bcastInstance)
 	e.bcast.arrived = make(map[bcastKey][]byte)
 	pr.SetABHook(e.hook)
+	e.sigFn = e.onSignal
 	pr.NIC().SetSignalHandler(func() {
 		// Runs in NIC context: queue the handler on the host process.
-		pr.P.Interrupt(e.onSignal)
+		pr.P.Interrupt(e.sigFn)
 	})
 	e.installNICFirmware()
 	return e

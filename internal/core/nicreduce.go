@@ -6,7 +6,6 @@ import (
 	"abred/internal/coll"
 	"abred/internal/gm"
 	"abred/internal/mpi"
-	"abred/internal/sim"
 )
 
 // NIC-based reduction — the paper's §VII future-work direction (refs
@@ -46,17 +45,20 @@ type nicTable map[nicKey]*nicInstance
 func (e *Engine) installNICFirmware() {
 	table := make(nicTable)
 	nic := e.pr.NIC()
-	nic.SetFirmware(func(p *sim.Proc, pkt *gm.Packet) bool {
+	nic.SetFirmware(func(fw *gm.FwOps, pkt *gm.Packet) bool {
 		if pkt.Type != gm.NICCollective {
 			return false
 		}
-		e.nicProcess(p, table, pkt)
+		e.nicProcess(fw, table, pkt)
 		return true
 	})
 }
 
-// nicProcess handles one contribution in NIC-process context.
-func (e *Engine) nicProcess(p *sim.Proc, table nicTable, pkt *gm.Packet) {
+// nicProcess handles one contribution in control-program context. LANai
+// time is accrued through fw.Charge; the control program performs the
+// posted actions once that time has elapsed, so the virtual-time cost is
+// the same as the old blocking Sleep-then-act sequence.
+func (e *Engine) nicProcess(fw *gm.FwOps, table nicTable, pkt *gm.Packet) {
 	pr := e.pr
 	rank, size := pr.Rank(), pr.Size()
 	root := int(pkt.Root)
@@ -67,13 +69,13 @@ func (e *Engine) nicProcess(p *sim.Proc, table nicTable, pkt *gm.Packet) {
 
 	inst := table[key]
 	if inst == nil {
-		inst = &nicInstance{need: len(coll.Children(rank, root, size)) + 1}
+		inst = &nicInstance{need: coll.ChildCount(rank, root, size) + 1}
 		table[key] = inst
 	}
 	if inst.acc == nil {
 		inst.acc = append([]byte(nil), pkt.Data...)
 	} else {
-		p.Sleep(pr.CM.NICReduceOp(count, dt.Size()))
+		fw.Charge(pr.CM.NICReduceOp(count, dt.Size()))
 		mpi.Apply(op, dt, inst.acc, pkt.Data, count)
 	}
 	inst.got++
@@ -96,8 +98,8 @@ func (e *Engine) nicProcess(p *sim.Proc, table nicTable, pkt *gm.Packet) {
 			Seq:     pkt.Seq,
 			Data:    inst.acc,
 		}
-		p.Sleep(pr.CM.NICPkt(len(inst.acc))) // PCI DMA to host memory
-		pr.NIC().DeliverToHost(p, result)
+		fw.Charge(pr.CM.NICPkt(len(inst.acc))) // PCI DMA to host memory
+		fw.DeliverToHost(result)
 		return
 	}
 
@@ -114,7 +116,8 @@ func (e *Engine) nicProcess(p *sim.Proc, table nicTable, pkt *gm.Packet) {
 		AuxDT:   pkt.AuxDT,
 		Data:    inst.acc,
 	}
-	pr.NIC().ForwardFromNIC(p, up)
+	fw.Charge(pr.CM.NICPkt(len(up.Data)))
+	fw.Forward(up)
 }
 
 // NICReduce performs the reduction on the NIC plane. Non-root ranks

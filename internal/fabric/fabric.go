@@ -31,12 +31,15 @@ type Frame struct {
 
 // Fabric connects n nodes through one switch.
 type Fabric struct {
-	k     *sim.Kernel
-	costs model.Costs
-	sinks []func(Frame)
+	k         *sim.Kernel
+	costs     model.Costs
+	nsPerByte float64 // serialization cost per byte, hoisted from the per-frame path
+	sinks     []func(Frame)
 
 	injectFree []sim.Time // source link busy-until
 	ejectFree  []sim.Time // destination link busy-until
+
+	dfree []*delivery // recycled in-flight frame records
 
 	frames    uint64
 	bytes     uint64
@@ -48,10 +51,32 @@ func New(k *sim.Kernel, n int, costs model.Costs) *Fabric {
 	return &Fabric{
 		k:          k,
 		costs:      costs,
+		nsPerByte:  float64(sim.Time(1e9)) / (costs.WireMBps * 1e6),
 		sinks:      make([]func(Frame), n),
 		injectFree: make([]sim.Time, n),
 		ejectFree:  make([]sim.Time, n),
 	}
+}
+
+// delivery is one frame in flight: a pooled sim.Runner, so scheduling a
+// delivery allocates nothing in steady state (the old closure-per-frame
+// was two heap allocations: the closure and the escaped frame).
+type delivery struct {
+	f  *Fabric
+	fr Frame
+}
+
+// RunEvent delivers the frame at its arrival time (scheduler context).
+func (d *delivery) RunEvent() {
+	f, fr := d.f, d.fr
+	// Recycle before invoking the sink: the sink may send a new frame,
+	// which can then reuse this record.
+	d.fr = Frame{}
+	f.dfree = append(f.dfree, d)
+	if f.OnDeliver != nil {
+		f.OnDeliver(fr)
+	}
+	f.sinks[fr.Dst](fr)
 }
 
 // Nodes returns the number of attached nodes.
@@ -68,8 +93,7 @@ func (f *Fabric) Connect(id int, sink func(Frame)) {
 
 // serialize returns the link occupancy of n bytes at 2 Gb/s.
 func (f *Fabric) serialize(n int) sim.Time {
-	perByte := float64(sim.Time(1e9)) / (f.costs.WireMBps * 1e6)
-	return sim.Time(perByte * float64(n))
+	return sim.Time(f.nsPerByte * float64(n))
 }
 
 // Send injects a frame. Delivery is scheduled for
@@ -105,13 +129,16 @@ func (f *Fabric) Send(frame Frame) {
 	f.frames++
 	f.bytes += uint64(frame.Size)
 
-	fr := frame
-	f.k.After(arrive-now, func() {
-		if f.OnDeliver != nil {
-			f.OnDeliver(fr)
-		}
-		f.sinks[fr.Dst](fr)
-	})
+	var dl *delivery
+	if n := len(f.dfree); n > 0 {
+		dl = f.dfree[n-1]
+		f.dfree[n-1] = nil
+		f.dfree = f.dfree[:n-1]
+	} else {
+		dl = &delivery{f: f}
+	}
+	dl.fr = frame
+	f.k.AfterRunner(arrive-now, dl)
 }
 
 // Stats reports total frames and bytes injected so far.

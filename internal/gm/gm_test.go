@@ -137,7 +137,7 @@ func TestSignalCoalescing(t *testing.T) {
 func TestFirmwareConsumesPackets(t *testing.T) {
 	k, a, b := pair(6)
 	seen := 0
-	b.SetFirmware(func(p *sim.Proc, pkt *Packet) bool {
+	b.SetFirmware(func(fw *FwOps, pkt *Packet) bool {
 		if pkt.Type == NICCollective {
 			seen++
 			return true

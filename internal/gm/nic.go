@@ -29,21 +29,81 @@ type nicEvent struct {
 
 // Firmware is NIC-resident packet processing (the paper's future-work
 // direction, refs [9–11]: perform part of the reduction on the NIC).
-// It runs in NIC-process context; returning true absorbs the packet so
-// it is never delivered to the host.
-type Firmware func(nicProc *sim.Proc, pkt *Packet) bool
+// It runs inline in control-program context (a callback daemon, so it
+// must not park); LANai processing time is charged through fw.Charge and
+// packet actions are posted with fw.DeliverToHost / fw.Forward, which
+// the control program performs once the charged time has elapsed.
+// Returning true absorbs the packet so it is never delivered to the
+// host; a handler that declines a packet must not charge or post
+// actions.
+type Firmware func(fw *FwOps, pkt *Packet) bool
+
+// FwOps collects one firmware invocation's time charge and deferred
+// packet actions. The control program sleeps for the accumulated charge,
+// then performs the actions in posting order — equivalent in virtual
+// time to a blocking control program that interleaved Sleep calls with
+// its sends, since all actions happen at the end of the charged window.
+type FwOps struct {
+	charge sim.Time
+	acts   []fwAct
+}
+
+// fwAct is one deferred firmware action.
+type fwAct struct {
+	deliver bool // true: host delivery (token-gated); false: wire send
+	pkt     *Packet
+}
+
+// Charge accrues d of LANai processing time for the current packet.
+func (o *FwOps) Charge(d sim.Time) { o.charge += d }
+
+// DeliverToHost posts pkt for delivery to the host receive queue after
+// the charged time elapses, respecting receive tokens.
+func (o *FwOps) DeliverToHost(pkt *Packet) {
+	o.acts = append(o.acts, fwAct{deliver: true, pkt: pkt})
+}
+
+// Forward posts pkt for transmission onto the wire after the charged
+// time elapses.
+func (o *FwOps) Forward(pkt *Packet) {
+	o.acts = append(o.acts, fwAct{pkt: pkt})
+}
+
+// reset clears the ops for the next invocation, keeping capacity.
+func (o *FwOps) reset() {
+	o.charge = 0
+	o.acts = o.acts[:0]
+}
+
+// Control-program states (see NIC.step).
+const (
+	nicIdle      = iota // waiting for evQ work
+	nicBusy             // charging LANai per-packet processing time
+	nicFwActs           // performing deferred firmware actions
+	nicStalled          // host delivery waiting on a receive token
+	nicFwStalled        // firmware delivery waiting on a receive token
+)
 
 // NIC models one GM network interface: a LANai processor running a
-// control program (a dedicated simulated process), DMA queues to and
-// from the host, and the paper's signal machinery.
+// control program, DMA queues to and from the host, and the paper's
+// signal machinery. The control program is a callback daemon — a state
+// machine driven entirely in scheduler context — rather than a
+// goroutine: at N nodes that removes N parked goroutines and two
+// context switches per NIC packet from the simulation hot path.
 type NIC struct {
 	k    *sim.Kernel
 	node int
 	cm   model.CostModel
 	fab  *fabric.Fabric
 
-	evQ   *sim.Queue[nicEvent]
+	ctl   *sim.Daemon
+	evQ   *sim.Queue[nicEvent] // drained by the control program via TryGet
 	hostQ *sim.Queue[*Packet]
+
+	st    int      // control-program state
+	cur   nicEvent // event being processed while busy
+	fw    FwOps    // current packet's firmware charge and actions
+	fwIdx int      // next firmware action to perform
 
 	signalsOn  bool
 	sigPending bool
@@ -55,12 +115,58 @@ type NIC struct {
 	tokenCond  *sim.Cond
 
 	// Receive tokens: GM can only deliver into host buffers the
-	// application provided in advance; a delivery with no token parked
-	// in NIC memory until the host recycles one.
+	// application provided in advance; a delivery with no token parks
+	// the control program (in NIC memory) until the host recycles one.
 	recvTokens int
-	recvCond   *sim.Cond
+
+	// pfree recycles eager packets and their payload buffers: the
+	// sender draws from its NIC's pool, the consumer releases into its
+	// own NIC's pool (same kernel, so no synchronization is needed).
+	pfree []*Packet
 
 	stats Stats
+}
+
+// maxPacketPool caps the per-NIC recycled-packet list so a burst does
+// not pin its high-water mark in memory forever.
+const maxPacketPool = 256
+
+// GetPacket returns a packet with a zeroed header and a Data buffer of
+// length size, reusing a recycled packet (and its buffer, when large
+// enough) if one is available. The final consumer releases it with
+// PutPacket on any NIC of the same kernel.
+func (n *NIC) GetPacket(size int) *Packet {
+	var pkt *Packet
+	if l := len(n.pfree); l > 0 {
+		pkt = n.pfree[l-1]
+		n.pfree[l-1] = nil
+		n.pfree = n.pfree[:l-1]
+	} else {
+		pkt = &Packet{owner: n}
+	}
+	if cap(pkt.Data) < size {
+		pkt.Data = make([]byte, size)
+	}
+	pkt.Data = pkt.Data[:size]
+	return pkt
+}
+
+// PutPacket releases a packet whose payload has been fully consumed
+// (copied or combined out). Only pool-allocated packets are recycled —
+// into the pool they came from, which may be another NIC of the same
+// (single-threaded) kernel. Literals pass through to the garbage
+// collector, so release sites can call this unconditionally.
+func (n *NIC) PutPacket(pkt *Packet) {
+	if pkt == nil || pkt.owner == nil {
+		return
+	}
+	o := pkt.owner
+	if len(o.pfree) >= maxPacketPool {
+		return
+	}
+	data := pkt.Data[:0]
+	*pkt = Packet{owner: o, Data: data}
+	o.pfree = append(o.pfree, pkt)
 }
 
 // DefaultSendTokens matches GM's out-of-the-box send-token allotment.
@@ -82,13 +188,13 @@ func NewNIC(k *sim.Kernel, node int, cm model.CostModel, fab *fabric.Fabric) *NI
 		sendTokens: DefaultSendTokens,
 		tokenCond:  sim.NewCond(fmt.Sprintf("nic%d.tokens", node)),
 		recvTokens: DefaultRecvTokens,
-		recvCond:   sim.NewCond(fmt.Sprintf("nic%d.rtokens", node)),
 	}
 	fab.Connect(node, func(fr fabric.Frame) {
 		n.evQ.Put(nicEvent{recv: fr.Payload.(*Packet)})
+		n.ctl.Wake()
 	})
-	ctl := k.Spawn(fmt.Sprintf("lanai%d", node), n.controlProgram)
-	ctl.SetDaemon(true)
+	n.ctl = k.NewDaemon(fmt.Sprintf("lanai%d", node), n.step)
+	n.ctl.SetStatus("ev queue")
 	return n
 }
 
@@ -98,51 +204,123 @@ func (n *NIC) Node() int { return n.node }
 // Stats returns a copy of the NIC counters.
 func (n *NIC) Stats() Stats { return n.stats }
 
-// controlProgram is the LANai firmware loop: it serializes send-side and
-// receive-side packet processing on the single NIC processor.
-func (n *NIC) controlProgram(p *sim.Proc) {
+// step is the LANai control-program state machine: it serializes
+// send-side and receive-side packet processing on the single NIC
+// processor, exactly like the goroutine loop it replaced — each state
+// transition mirrors one park point of the old blocking code, so packet
+// timings and orderings are unchanged.
+func (n *NIC) step() {
 	for {
-		ev := n.evQ.Get(p)
-		switch {
-		case ev.send != nil:
+		switch n.st {
+		case nicIdle:
+			ev, ok := n.evQ.TryGet()
+			if !ok {
+				n.ctl.SetStatus("ev queue")
+				return
+			}
+			n.cur = ev
+			n.st = nicBusy
 			pkt := ev.send
+			if pkt == nil {
+				pkt = ev.recv
+			}
 			// DMA the payload across PCI and process the packet.
-			p.Sleep(n.cm.NICPkt(len(pkt.Data)))
-			n.fab.Send(fabric.Frame{Src: n.node, Dst: pkt.DstNode, Size: pkt.WireSize(), Payload: pkt})
-			n.stats.Sent++
-			n.stats.BytesSent += uint64(pkt.WireSize())
-			n.sendTokens++
-			n.tokenCond.Broadcast()
-		case ev.recv != nil:
-			pkt := ev.recv
-			p.Sleep(n.cm.NICPkt(len(pkt.Data)))
-			n.stats.Received++
-			if n.firmware != nil && n.firmware(p, pkt) {
-				n.stats.FirmwareConsumed++
+			n.ctl.Sleep(n.cm.NICPkt(len(pkt.Data)))
+			return
+
+		case nicBusy:
+			if pkt := n.cur.send; pkt != nil {
+				n.inject(pkt)
+				n.sendTokens++
+				n.tokenCond.Broadcast()
+				n.st = nicIdle
 				continue
 			}
-			n.deliverToHost(p, pkt)
-			if pkt.IsCollective() {
-				n.stats.CollectiveArrivals++
-				if n.signalsOn {
-					n.raise()
-				} else {
-					n.stats.SignalsSuppressed++
+			pkt := n.cur.recv
+			n.stats.Received++
+			if n.firmware != nil {
+				n.fw.reset()
+				n.fwIdx = 0
+				if n.firmware(&n.fw, pkt) {
+					n.stats.FirmwareConsumed++
+					n.st = nicFwActs
+					if n.fw.charge > 0 {
+						n.ctl.Sleep(n.fw.charge)
+						return
+					}
+					continue
 				}
 			}
+			if n.recvTokens == 0 {
+				n.stats.TokenStallsNIC++
+				n.st = nicStalled
+				n.ctl.SetStatus("recv token")
+				return
+			}
+			n.deliver(pkt)
+			n.st = nicIdle
+
+		case nicStalled:
+			if n.recvTokens == 0 {
+				return // spurious wake; still no token
+			}
+			n.deliver(n.cur.recv)
+			n.st = nicIdle
+
+		case nicFwActs:
+			for n.fwIdx < len(n.fw.acts) {
+				act := n.fw.acts[n.fwIdx]
+				if act.deliver && n.recvTokens == 0 {
+					n.stats.TokenStallsNIC++
+					n.st = nicFwStalled
+					n.ctl.SetStatus("recv token")
+					return
+				}
+				n.fwIdx++
+				if act.deliver {
+					n.recvTokens--
+					n.pushHost(act.pkt)
+				} else {
+					act.pkt.SrcNode = n.node
+					n.inject(act.pkt)
+				}
+			}
+			n.st = nicIdle
+
+		case nicFwStalled:
+			if n.recvTokens == 0 {
+				return // spurious wake; still no token
+			}
+			n.st = nicFwActs
 		}
 	}
 }
 
-// deliverToHost lands a packet in the host receive queue, first
-// acquiring a receive token (backpressure: with none free the packet —
-// and the control program — waits in NIC memory).
-func (n *NIC) deliverToHost(p *sim.Proc, pkt *Packet) {
-	for n.recvTokens == 0 {
-		n.stats.TokenStallsNIC++
-		n.recvCond.Wait(p)
-	}
+// inject puts pkt on the wire and updates send-side counters.
+func (n *NIC) inject(pkt *Packet) {
+	n.fab.Send(fabric.Frame{Src: n.node, Dst: pkt.DstNode, Size: pkt.WireSize(), Payload: pkt})
+	n.stats.Sent++
+	n.stats.BytesSent += uint64(pkt.WireSize())
+}
+
+// deliver consumes a receive token, lands pkt in the host queue, and
+// raises the collective-arrival signal if enabled. Callers have already
+// verified a token is free.
+func (n *NIC) deliver(pkt *Packet) {
 	n.recvTokens--
+	n.pushHost(pkt)
+	if pkt.IsCollective() {
+		n.stats.CollectiveArrivals++
+		if n.signalsOn {
+			n.raise()
+		} else {
+			n.stats.SignalsSuppressed++
+		}
+	}
+}
+
+// pushHost lands a packet in the host receive queue.
+func (n *NIC) pushHost(pkt *Packet) {
 	n.hostQ.Put(pkt)
 	if d := n.hostQ.Len(); d > n.stats.MaxHostQueueDepth {
 		n.stats.MaxHostQueueDepth = d
@@ -153,13 +331,21 @@ func (n *NIC) deliverToHost(p *sim.Proc, pkt *Packet) {
 // packet they consume.
 func (n *NIC) ReturnRecvToken() {
 	n.recvTokens++
-	n.recvCond.Broadcast()
+	n.wakeIfStalled()
 }
 
 // ProvideRecvTokens grows the receive-buffer pool.
 func (n *NIC) ProvideRecvTokens(count int) {
 	n.recvTokens += count
-	n.recvCond.Broadcast()
+	n.wakeIfStalled()
+}
+
+// wakeIfStalled resumes the control program when it is parked on a
+// receive token.
+func (n *NIC) wakeIfStalled() {
+	if n.st == nicStalled || n.st == nicFwStalled {
+		n.ctl.Wake()
+	}
 }
 
 // raise delivers a signal to the host unless one is already pending —
@@ -191,6 +377,7 @@ func (n *NIC) Send(p *sim.Proc, pkt *Packet) {
 	n.sendTokens--
 	pkt.SrcNode = n.node
 	n.evQ.Put(nicEvent{send: pkt})
+	n.ctl.Wake()
 }
 
 // Poll removes the next received packet without blocking.
@@ -219,8 +406,9 @@ func (n *NIC) DisableSignals() { n.signalsOn = false }
 // SignalsEnabled reports the current signal mode.
 func (n *NIC) SignalsEnabled() bool { return n.signalsOn }
 
-// SetSignalHandler installs the host-side signal target. It runs in NIC
-// process context; implementations typically Interrupt the host process.
+// SetSignalHandler installs the host-side signal target. It runs in
+// control-program (scheduler) context; implementations typically
+// Interrupt the host process.
 func (n *NIC) SetSignalHandler(fn func()) { n.sigTarget = fn }
 
 // ConsumePendingSignal atomically claims the pending signal, reporting
@@ -247,22 +435,5 @@ func (n *NIC) SetFirmware(fw Firmware) { n.firmware = fw }
 func (n *NIC) Deliver(pkt *Packet) {
 	pkt.SrcNode = n.node
 	n.evQ.Put(nicEvent{recv: pkt})
-}
-
-// DeliverToHost places a firmware-built packet onto the host receive
-// queue, bypassing firmware re-processing but respecting receive
-// tokens. Must be called from NIC-process context.
-func (n *NIC) DeliverToHost(p *sim.Proc, pkt *Packet) {
-	n.deliverToHost(p, pkt)
-}
-
-// ForwardFromNIC sends a firmware-built packet onto the wire, charging
-// LANai processing. Must be called from NIC-process context with the
-// control program's proc.
-func (n *NIC) ForwardFromNIC(p *sim.Proc, pkt *Packet) {
-	p.Sleep(n.cm.NICPkt(len(pkt.Data)))
-	pkt.SrcNode = n.node
-	n.fab.Send(fabric.Frame{Src: n.node, Dst: pkt.DstNode, Size: pkt.WireSize(), Payload: pkt})
-	n.stats.Sent++
-	n.stats.BytesSent += uint64(pkt.WireSize())
+	n.ctl.Wake()
 }

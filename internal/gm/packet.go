@@ -100,6 +100,14 @@ type Packet struct {
 
 	// Data is the payload as it sits in NIC / bounce-buffer memory.
 	Data []byte
+
+	// owner is the NIC pool the packet was allocated from (GetPacket);
+	// PutPacket recycles into it so pools stay balanced even when
+	// traffic is asymmetric (a leaf sends constantly but receives
+	// almost nothing). Packets built as plain literals keep the zero
+	// value and pass through PutPacket untouched, so a consumer can
+	// release unconditionally.
+	owner *NIC
 }
 
 // WireSize returns the bytes the packet occupies on the link.

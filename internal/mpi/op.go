@@ -110,6 +110,33 @@ func boolToT[T number](b bool) T {
 	return 0
 }
 
+// combineScalar is combine for one element; the in-place Apply kernels
+// use it to fold without materializing decoded slices. The arithmetic is
+// identical to combine's, so results are bit-for-bit the same.
+func combineScalar[T number](op Op, a, b T) T {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpLAnd:
+		return boolToT[T](a != 0 && b != 0)
+	case OpLOr:
+		return boolToT[T](a != 0 || b != 0)
+	}
+	panic(fmt.Sprintf("mpi: operator %v not handled by arithmetic kernel", op))
+}
+
 // combineBits applies a bitwise operator on unsigned words.
 func combineBits(op Op, dst, src []uint64) {
 	switch op {
@@ -145,31 +172,42 @@ func Apply(op Op, d Datatype, dst, src []byte, count int) {
 		applyBitwise(op, d, dst[:n], src[:n])
 		return
 	}
+	// Each case folds in place, element by element: the decoded-slice
+	// round trip the old code paid (three heap allocations per Apply)
+	// is pure overhead on the reduction hot path.
 	switch d {
 	case Float64:
-		a, b := BytesToFloat64s(dst[:n]), BytesToFloat64s(src[:n])
-		combine(op, a, b)
-		copy(dst, Float64sToBytes(a))
+		for i := 0; i+8 <= n; i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(combineScalar(op, a, b)))
+		}
 	case Float32:
-		a, b := BytesToFloat32s(dst[:n]), BytesToFloat32s(src[:n])
-		combine(op, a, b)
-		copy(dst, Float32sToBytes(a))
+		for i := 0; i+4 <= n; i += 4 {
+			a := math.Float32frombits(binary.LittleEndian.Uint32(dst[i:]))
+			b := math.Float32frombits(binary.LittleEndian.Uint32(src[i:]))
+			binary.LittleEndian.PutUint32(dst[i:], math.Float32bits(combineScalar(op, a, b)))
+		}
 	case Int32:
-		a, b := BytesToInt32s(dst[:n]), BytesToInt32s(src[:n])
-		combine(op, a, b)
-		copy(dst, Int32sToBytes(a))
+		for i := 0; i+4 <= n; i += 4 {
+			a := int32(binary.LittleEndian.Uint32(dst[i:]))
+			b := int32(binary.LittleEndian.Uint32(src[i:]))
+			binary.LittleEndian.PutUint32(dst[i:], uint32(combineScalar(op, a, b)))
+		}
 	case Int64:
-		a, b := BytesToInt64s(dst[:n]), BytesToInt64s(src[:n])
-		combine(op, a, b)
-		copy(dst, Int64sToBytes(a))
+		for i := 0; i+8 <= n; i += 8 {
+			a := int64(binary.LittleEndian.Uint64(dst[i:]))
+			b := int64(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], uint64(combineScalar(op, a, b)))
+		}
 	case Uint64:
-		a, b := BytesToUint64s(dst[:n]), BytesToUint64s(src[:n])
-		combine(op, a, b)
-		copy(dst, Uint64sToBytes(a))
+		for i := 0; i+8 <= n; i += 8 {
+			a := binary.LittleEndian.Uint64(dst[i:])
+			b := binary.LittleEndian.Uint64(src[i:])
+			binary.LittleEndian.PutUint64(dst[i:], combineScalar(op, a, b))
+		}
 	case Byte:
-		a := dst[:n]
-		b := src[:n]
-		combine(op, a, b)
+		combine(op, dst[:n], src[:n])
 	default:
 		panic(fmt.Sprintf("mpi: unknown datatype %v", d))
 	}

@@ -32,24 +32,7 @@ func (pr *Process) Isend(a SendArgs) *Request {
 	pr.P.Spin(pr.CM.HostSendOvh())
 	n := len(a.Data)
 	if n <= pr.CM.C.EagerThreshold {
-		// Eager mode: one host copy into the bounce pool (§III).
-		pr.chargeCopy(n)
-		typ := gm.Eager
-		if a.Collective {
-			typ = gm.Collective
-		}
-		pkt := &gm.Packet{
-			Type:    typ,
-			DstNode: a.Dst,
-			Ctx:     a.Ctx,
-			Tag:     a.Tag,
-			SrcRank: int32(pr.rank),
-			Root:    a.Root,
-			Seq:     a.Seq,
-			Data:    append([]byte(nil), a.Data...),
-		}
-		pr.nic.Send(pr.P, pkt)
-		pr.Stats.EagerSends++
+		pr.eagerSend(a, n)
 		return &Request{pr: pr, kind: reqSendEager, done: true, dst: a.Dst}
 	}
 
@@ -81,8 +64,43 @@ func (pr *Process) Isend(a SendArgs) *Request {
 	return req
 }
 
-// Send is the blocking form of Isend.
+// eagerSend runs the eager-mode send path shared by Isend and Send: one
+// host copy into the bounce pool (§III), packet handed to the NIC. The
+// packet and its payload buffer come from the NIC packet pool, so a
+// steady-state eager send allocates nothing.
+func (pr *Process) eagerSend(a SendArgs, n int) {
+	pr.chargeCopy(n)
+	typ := gm.Eager
+	if a.Collective {
+		typ = gm.Collective
+	}
+	pkt := pr.nic.GetPacket(n)
+	pkt.Type = typ
+	pkt.DstNode = a.Dst
+	pkt.Ctx = a.Ctx
+	pkt.Tag = a.Tag
+	pkt.SrcRank = int32(pr.rank)
+	pkt.Root = a.Root
+	pkt.Seq = a.Seq
+	copy(pkt.Data, a.Data)
+	pr.nic.Send(pr.P, pkt)
+	pr.Stats.EagerSends++
+}
+
+// Send is the blocking form of Isend. Eager sends complete by the time
+// Isend returns, so the blocking form skips the Request entirely — the
+// collective hot paths send this way, and the handle would be their only
+// steady-state allocation.
 func (pr *Process) Send(a SendArgs) {
+	n := len(a.Data)
+	if n <= pr.CM.C.EagerThreshold {
+		if a.Dst < 0 || a.Dst >= pr.size {
+			panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", a.Dst, pr.size))
+		}
+		pr.P.Spin(pr.CM.HostSendOvh())
+		pr.eagerSend(a, n)
+		return
+	}
 	pr.Isend(a).Wait()
 }
 
@@ -90,8 +108,16 @@ func (pr *Process) Send(a SendArgs) {
 // the unexpected queue it completes immediately (paying the second host
 // copy, as in MPICH); otherwise the request joins the posted queue.
 func (pr *Process) Irecv(ctx uint16, src int, tag int32, buf []byte) *Request {
-	pr.P.Spin(pr.CM.HostRecvOvh())
 	req := &Request{pr: pr, kind: reqRecv, ctx: ctx, src: src, tag: tag, buf: buf}
+	pr.irecvPosted(req)
+	return req
+}
+
+// irecvPosted runs the Irecv matching logic on an initialized receive
+// request; Recv drives it with a pooled request, Irecv with a fresh one.
+func (pr *Process) irecvPosted(req *Request) {
+	pr.P.Spin(pr.CM.HostRecvOvh())
+	ctx, src, tag, buf := req.ctx, req.src, req.tag, req.buf
 
 	pr.P.Spin(pr.CM.QueueSearch(len(pr.unexpected)))
 	for i, m := range pr.unexpected {
@@ -101,8 +127,10 @@ func (pr *Process) Irecv(ctx uint16, src int, tag int32, buf []byte) *Request {
 		pr.unexpected = append(pr.unexpected[:i], pr.unexpected[i+1:]...)
 		if m.rts != nil {
 			// A queued rendezvous announcement: pin and clear-to-send.
-			pr.acceptRendezvous(req, m.rts)
-			return req
+			rts := m.rts
+			pr.putUMsg(m)
+			pr.acceptRendezvous(req, rts)
+			return
 		}
 		// Buffered eager payload: second copy, temp buffer → user buffer.
 		if len(m.data) > len(buf) {
@@ -112,16 +140,26 @@ func (pr *Process) Irecv(ctx uint16, src int, tag int32, buf []byte) *Request {
 		pr.chargeCopy(len(m.data))
 		copy(req.buf, m.data)
 		req.complete(int(m.srcRank), m.tag, len(m.data))
-		return req
+		pr.putUMsg(m)
+		return
 	}
 
 	pr.posted = append(pr.posted, req)
-	return req
 }
 
 // Recv is the blocking form of Irecv; it returns the completion status.
+// The request handle never escapes, so it comes from the process's
+// request pool and is recycled on return — a steady-state blocking
+// receive allocates nothing.
 func (pr *Process) Recv(ctx uint16, src int, tag int32, buf []byte) Status {
-	return pr.Irecv(ctx, src, tag, buf).Wait()
+	req := pr.getReq()
+	req.pr = pr
+	req.kind = reqRecv
+	req.ctx, req.src, req.tag, req.buf = ctx, src, tag, buf
+	pr.irecvPosted(req)
+	st := req.Wait()
+	pr.putReq(req)
+	return st
 }
 
 // complete finalizes a receive.

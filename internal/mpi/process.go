@@ -61,7 +61,62 @@ type Process struct {
 	// keeps for eager sends.
 	eagerPool *gm.Region
 
+	// reqFree recycles request handles for the blocking receive path,
+	// where the handle never escapes the call.
+	reqFree []*Request
+
+	// umsgFree recycles unexpected-queue entries and their payload
+	// buffers; an entry dies as soon as a matching receive consumes it.
+	umsgFree []*uMsg
+
 	Stats ProcStats
+}
+
+// maxRequestPool caps the recycled-request list; blocking receives are
+// sequential per process, so the pool stays tiny in practice.
+const maxRequestPool = 16
+
+// getReq returns a zeroed request from the pool (or a fresh one).
+func (pr *Process) getReq() *Request {
+	if l := len(pr.reqFree); l > 0 {
+		r := pr.reqFree[l-1]
+		pr.reqFree[l-1] = nil
+		pr.reqFree = pr.reqFree[:l-1]
+		return r
+	}
+	return &Request{}
+}
+
+// putReq recycles a request that no queue or map references anymore.
+func (pr *Process) putReq(r *Request) {
+	*r = Request{}
+	if len(pr.reqFree) < maxRequestPool {
+		pr.reqFree = append(pr.reqFree, r)
+	}
+}
+
+// maxUMsgPool caps the recycled unexpected-queue entries per process.
+const maxUMsgPool = 64
+
+// getUMsg returns a zeroed unexpected-queue entry, keeping any recycled
+// payload buffer for reuse.
+func (pr *Process) getUMsg() *uMsg {
+	if l := len(pr.umsgFree); l > 0 {
+		m := pr.umsgFree[l-1]
+		pr.umsgFree[l-1] = nil
+		pr.umsgFree = pr.umsgFree[:l-1]
+		return m
+	}
+	return &uMsg{}
+}
+
+// putUMsg recycles an entry whose payload has been consumed.
+func (pr *Process) putUMsg(m *uMsg) {
+	data := m.data[:0]
+	*m = uMsg{data: data}
+	if len(pr.umsgFree) < maxUMsgPool {
+		pr.umsgFree = append(pr.umsgFree, m)
+	}
 }
 
 // NewProcess builds rank `rank` of `size` on the given NIC. It pins the

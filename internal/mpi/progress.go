@@ -75,6 +75,11 @@ func (pr *Process) handlePacket(pkt *gm.Packet) {
 		pr.Stats.SignalsIgnored++
 	}
 	if pr.abHook != nil && (pkt.Type == gm.Collective || pkt.Type == gm.CollectiveRTS) && pr.abHook(pkt) {
+		if pkt.Type == gm.Collective {
+			// The hook combined or copied the payload out; RTS packets
+			// are the only kind it retains (in a queued announcement).
+			pr.nic.PutPacket(pkt)
+		}
 		return
 	}
 	switch pkt.Type {
@@ -82,12 +87,17 @@ func (pr *Process) handlePacket(pkt *gm.Packet) {
 		// A NICCollective packet reaching the host is a final result
 		// the firmware delivered; it matches like any eager message.
 		pr.matchOrQueue(pkt)
+		// matchOrQueue copies the payload out on both branches, so the
+		// packet is dead here and can recycle into the eager pool.
+		pr.nic.PutPacket(pkt)
 	case gm.RendezvousRTS, gm.CollectiveRTS:
-		pr.handleRTS(pkt)
+		pr.handleRTS(pkt) // may retain pkt in the unexpected queue
 	case gm.RendezvousCTS, gm.CollectiveCTS:
 		pr.handleCTS(pkt)
+		pr.nic.PutPacket(pkt)
 	case gm.RendezvousData, gm.CollectiveData:
 		pr.handleData(pkt)
+		pr.nic.PutPacket(pkt)
 	default:
 		panic(fmt.Sprintf("mpi: unknown packet type %v", pkt.Type))
 	}
@@ -114,13 +124,13 @@ func (pr *Process) matchOrQueue(pkt *gm.Packet) {
 		return
 	}
 	pr.chargeCopy(len(pkt.Data))
-	pr.unexpected = append(pr.unexpected, &uMsg{
-		ctx:     pkt.Ctx,
-		tag:     pkt.Tag,
-		srcRank: pkt.SrcRank,
-		data:    append([]byte(nil), pkt.Data...),
-		at:      pr.P.Now(),
-	})
+	m := pr.getUMsg()
+	m.ctx = pkt.Ctx
+	m.tag = pkt.Tag
+	m.srcRank = pkt.SrcRank
+	m.data = append(m.data[:0], pkt.Data...)
+	m.at = pr.P.Now()
+	pr.unexpected = append(pr.unexpected, m)
 	pr.Stats.UnexpectedMsgs++
 }
 
@@ -137,13 +147,13 @@ func (pr *Process) handleRTS(pkt *gm.Packet) {
 		pr.Stats.ExpectedMsgs++
 		return
 	}
-	pr.unexpected = append(pr.unexpected, &uMsg{
-		ctx:     pkt.Ctx,
-		tag:     pkt.Tag,
-		srcRank: pkt.SrcRank,
-		rts:     pkt,
-		at:      pr.P.Now(),
-	})
+	m := pr.getUMsg()
+	m.ctx = pkt.Ctx
+	m.tag = pkt.Tag
+	m.srcRank = pkt.SrcRank
+	m.rts = pkt
+	m.at = pr.P.Now()
+	pr.unexpected = append(pr.unexpected, m)
 	pr.Stats.UnexpectedMsgs++
 }
 

@@ -6,16 +6,17 @@ package sim
 // callers should re-check their predicate in a loop.
 type Cond struct {
 	name    string
+	where   string // park label, built once ("cond " + name)
 	waiters []*Proc
 }
 
 // NewCond returns a condition; name appears in deadlock reports.
-func NewCond(name string) *Cond { return &Cond{name: name} }
+func NewCond(name string) *Cond { return &Cond{name: name, where: "cond " + name} }
 
 // Wait parks p until the next Broadcast.
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
-	p.park("cond " + c.name)
+	p.park(c.where)
 }
 
 // WaitTimeout parks p until the next Broadcast or until d elapses,
@@ -29,19 +30,22 @@ func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
 		p.wakeAt(p.k.now)
 	})
 	c.waiters = append(c.waiters, p)
-	p.park("cond " + c.name)
+	p.park(c.where)
 	p.k.cancel(ev)
 	c.remove(p)
 	return !timedOut
 }
 
 // Broadcast wakes every waiting process at the current virtual time.
+// The waiter slice keeps its capacity: wakeAt only schedules events (no
+// process runs until the caller parks), so no new waiter can appear
+// mid-loop and the buffer can be reused allocation-free.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, p := range ws {
+	for i, p := range c.waiters {
+		c.waiters[i] = nil
 		p.wakeAt(p.k.now)
 	}
+	c.waiters = c.waiters[:0]
 }
 
 func (c *Cond) remove(p *Proc) {

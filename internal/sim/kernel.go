@@ -5,9 +5,11 @@
 // (Proc) run in their own goroutines, but the kernel resumes exactly one
 // process at a time: a process runs until it parks on a virtual-time event
 // (Sleep, Queue.Get, Cond.Wait, ...), then control returns to the scheduler.
-// Combined with seeded random number streams this makes entire cluster
-// simulations bit-for-bit reproducible, independent of GOMAXPROCS or OS
-// scheduling.
+// Background services that never need to park mid-computation are better
+// served by callback Daemons, which run entirely in scheduler context with
+// no goroutine at all. Combined with seeded random number streams this
+// makes entire cluster simulations bit-for-bit reproducible, independent
+// of GOMAXPROCS or OS scheduling.
 //
 // All sim API calls must be made either from a running Proc's goroutine or
 // from a closure scheduled with Kernel.After; the kernel is not safe for
@@ -17,7 +19,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -35,15 +36,21 @@ type Kernel struct {
 	now       Time
 	events    eventHeap
 	free      []*event // recycled event structs (see event.go)
+	freePeak  int      // high-water mark of the free list
 	seq       uint64
 	ncanceled int    // canceled entries still sitting in the heap
 	nexec     uint64 // events executed since New
 
 	procs   map[int]*Proc
+	daemons []*Daemon
 	nextID  int
 	running *Proc // proc currently executing, nil while in scheduler
 	ndCount int   // live non-daemon processes
 	ndEver  bool  // a non-daemon process has existed
+
+	// runDone carries control back to the Run goroutine when the event
+	// loop goes quiet on a process's goroutine (see dispatch/handoff).
+	runDone chan struct{}
 
 	seed    int64
 	rng     *rand.Rand
@@ -57,9 +64,10 @@ type Kernel struct {
 // New returns a kernel whose random streams derive from seed.
 func New(seed int64) *Kernel {
 	return &Kernel{
-		procs: make(map[int]*Proc),
-		seed:  seed,
-		rng:   rand.New(rand.NewSource(seed)),
+		procs:   make(map[int]*Proc),
+		seed:    seed,
+		rng:     rand.New(rand.NewSource(seed)),
+		runDone: make(chan struct{}),
 	}
 }
 
@@ -73,6 +81,12 @@ func (k *Kernel) Seed() int64 { return k.seed }
 // measure of simulation work, used by the sweep engine's throughput
 // accounting.
 func (k *Kernel) Events() uint64 { return k.nexec }
+
+// EventPoolPeak returns the high-water mark of the recycled-event free
+// list: the largest number of idle event structs the kernel has held at
+// once. The pool is capped (see maxEventPool), so this also bounds how
+// much event memory a burst-heavy simulation pins for its lifetime.
+func (k *Kernel) EventPoolPeak() int { return k.freePeak }
 
 // RNG returns the kernel's root random stream. Use NewRNG for independent
 // per-component streams.
@@ -90,6 +104,11 @@ func (k *Kernel) NewRNG() *rand.Rand {
 // park (it has no process); it may schedule further events, put items on
 // queues and fire conditions.
 func (k *Kernel) After(d Time, fn func()) { k.schedule(k.now+d, fn) }
+
+// AfterRunner schedules r.RunEvent at now+d in scheduler context: the
+// closure-free counterpart of After for hot paths that re-arm pooled
+// Runner objects instead of allocating a closure per event.
+func (k *Kernel) AfterRunner(d Time, r Runner) { k.scheduleRunner(k.now+d, r) }
 
 // Spawn starts a new simulated process executing fn. The process begins
 // running at the current virtual time, after already-scheduled events.
@@ -109,37 +128,41 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.ndCount++
 	k.ndEver = true
 	go p.run(fn)
-	k.schedule(k.now, func() { k.resumeProc(p) })
+	k.scheduleWake(k.now, p)
 	return p
 }
 
-// resumeProc hands control to p and blocks until p parks or finishes.
-func (k *Kernel) resumeProc(p *Proc) {
-	if p.done {
-		return
-	}
-	k.running = p
-	p.resume <- struct{}{}
-	<-p.parked
-	k.running = nil
-	if p.done {
-		delete(k.procs, p.id)
-		if !p.daemon {
-			k.ndCount--
-		}
-	}
-	if p.panicked != nil && k.panicked == nil {
-		k.panicked = p.panicked
-	}
-}
+// dispatch outcomes: the loop went quiet (queue drained, Stop, panic
+// captured, or only daemons remain), the calling process's own wake
+// fired (control stays on this goroutine, no switch at all), or another
+// process was resumed over its channel.
+const (
+	dispatchQuiet = iota
+	dispatchSelf
+	dispatchOther
+)
 
-// Run drains the event queue. It returns the virtual time at which the
-// simulation went quiet. If any live processes remain parked with no
-// pending events, Run panics with a deadlock report naming each stuck
-// process and its park reason.
-func (k *Kernel) Run() Time {
+// dispatch runs the event loop until control must leave it. It runs on
+// whichever goroutine currently holds the scheduler token: the Run
+// goroutine at bootstrap, and thereafter the goroutine of each process
+// that parks or finishes. self is the parking process driving the loop
+// (nil from Run or a finished process): when its own wake event fires the
+// loop simply returns, so a Sleep/Spin with no intervening process switch
+// costs no goroutine switch, and handing control to a different process
+// costs one switch where a dedicated scheduler goroutine would cost two.
+//
+// A panic in a scheduler-context callback is captured into k.panicked
+// rather than propagated, so it surfaces from Run no matter which
+// goroutine the loop happened to be running on (dispatchQuiet is the
+// zero value the recovery path returns).
+func (k *Kernel) dispatch(self *Proc) (res int) {
+	defer func() {
+		if r := recover(); r != nil && k.panicked == nil {
+			k.panicked = r
+		}
+	}()
 	for len(k.events) > 0 && !k.stopped {
-		ev := heap.Pop(&k.events).(*event)
+		ev := k.events.pop()
 		if ev.canceled {
 			k.ncanceled--
 			k.recycle(ev)
@@ -149,18 +172,75 @@ func (k *Kernel) Run() Time {
 			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", k.now, ev.t))
 		}
 		k.now = ev.t
-		fn := ev.fn
-		k.recycle(ev)
 		k.nexec++
-		fn()
+		// Dispatch on the event's kind; recycle before executing so
+		// stale refs to this event are already invalid (see evref).
+		switch {
+		case ev.proc != nil:
+			p := ev.proc
+			k.recycle(ev)
+			p.wake = evref{}
+			if p.done {
+				continue
+			}
+			k.running = p
+			if p == self {
+				return dispatchSelf
+			}
+			p.resume <- struct{}{}
+			return dispatchOther
+		case ev.run != nil:
+			r := ev.run
+			k.recycle(ev)
+			r.RunEvent()
+		default:
+			fn := ev.fn
+			k.recycle(ev)
+			fn()
+		}
 		if k.panicked != nil {
-			panic(k.panicked)
+			return dispatchQuiet
 		}
 		if k.ndEver && k.ndCount == 0 {
 			// Only daemons (NIC control programs, tickers) remain; the
 			// simulation proper is over even if they keep scheduling.
-			break
+			return dispatchQuiet
 		}
+	}
+	return dispatchQuiet
+}
+
+// handoff continues the event loop from a process goroutine that is
+// giving up control (park or completion). It reports whether control
+// came straight back to the caller (its own wake was next). If no
+// process can run — queue drained, Stop called, a panic captured, or
+// only daemons remain — it wakes the Run goroutine, which owns the
+// final verdict.
+func (k *Kernel) handoff(self *Proc) bool {
+	if k.panicked == nil && !(k.ndEver && k.ndCount == 0) {
+		switch k.dispatch(self) {
+		case dispatchSelf:
+			return true
+		case dispatchOther:
+			return false
+		}
+	}
+	k.runDone <- struct{}{}
+	return false
+}
+
+// Run drains the event queue. It returns the virtual time at which the
+// simulation went quiet. If any live processes remain parked with no
+// pending events, Run panics with a deadlock report naming each stuck
+// process and its park reason.
+func (k *Kernel) Run() Time {
+	if k.dispatch(nil) == dispatchOther {
+		// Control lives with the processes now; each parking process
+		// drives the loop onward and the last one hands control back.
+		<-k.runDone
+	}
+	if k.panicked != nil {
+		panic(k.panicked)
 	}
 	if !k.stopped && k.ndCount > 0 {
 		panic("sim: deadlock at t=" + k.now.String() + ":\n" + k.stuckReport())
@@ -175,9 +255,9 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Shutdown terminates every live process — daemons included, and any
 // process abandoned mid-park by Stop or end-of-Run — releasing their
 // goroutines. Without it, each finished simulation leaks one parked
-// goroutine per surviving process (NIC control programs above all),
-// which adds up across the thousands of independent simulations a single
-// bench process now runs.
+// goroutine per surviving process, which adds up across the thousands of
+// independent simulations a single bench process runs. (Callback Daemons
+// have no goroutine and need no release.)
 //
 // Shutdown must be called from outside the simulation, after Run has
 // returned (or panicked). The kernel is dead afterwards: Run must not be
@@ -197,21 +277,23 @@ func (k *Kernel) Shutdown() {
 	k.ndCount = 0
 	k.events = nil
 	k.free = nil
+	k.daemons = nil
 	k.ncanceled = 0
 	k.stopped = true
 	k.shutdown = true
 }
 
-// stuckReport lists live non-daemon processes and why they are parked,
-// followed by a summary of parked daemons (NIC control programs and the
-// like) so hangs involving them are diagnosable too.
+// stuckReport lists live non-daemon processes, why they are parked and
+// for how long, followed by a summary of parked daemon processes and
+// idle callback daemons so hangs involving background services are
+// diagnosable too.
 func (k *Kernel) stuckReport() string {
 	ids := make([]int, 0, len(k.procs))
 	for id := range k.procs {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	s := ""
+	var b strings.Builder
 	daemons := 0
 	var dsample []string
 	for _, id := range ids {
@@ -223,16 +305,34 @@ func (k *Kernel) stuckReport() string {
 			}
 			continue
 		}
-		s += fmt.Sprintf("  proc %d %q parked on %q\n", p.id, p.name, p.reason)
+		fmt.Fprintf(&b, "  proc %d %q parked on %q for %v\n", p.id, p.name, p.reason, k.now-p.parkedAt)
 	}
 	if daemons > 0 {
 		suffix := ""
 		if daemons > len(dsample) {
 			suffix = ", ..."
 		}
-		s += fmt.Sprintf("  (+%d daemon procs parked: %s%s)\n", daemons, strings.Join(dsample, ", "), suffix)
+		fmt.Fprintf(&b, "  (+%d daemon procs parked: %s%s)\n", daemons, strings.Join(dsample, ", "), suffix)
 	}
-	return s
+	idle := 0
+	var csample []string
+	for _, d := range k.daemons {
+		if d.scheduled {
+			continue // has a pending step; not stuck
+		}
+		idle++
+		if len(csample) < 4 && d.status != "" {
+			csample = append(csample, fmt.Sprintf("%q on %q", d.name, d.status))
+		}
+	}
+	if idle > 0 {
+		suffix := ""
+		if idle > len(csample) {
+			suffix = ", ..."
+		}
+		fmt.Fprintf(&b, "  (+%d callback daemons idle: %s%s)\n", idle, strings.Join(csample, ", "), suffix)
+	}
+	return b.String()
 }
 
 // LiveProcs returns the number of processes that have not finished.

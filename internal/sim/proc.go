@@ -22,8 +22,10 @@ type Proc struct {
 	killed   bool // Kernel.Shutdown: exit instead of resuming
 	panicked any
 	reason   string // what the proc is parked on, for deadlock reports
+	parkedAt Time   // when the proc parked, for deadlock reports
 
-	wake evref // pending wake event, if parked on one
+	wake evref  // pending wake event, if parked on one
+	wpos uint64 // position in a Queue's waiter ring (see queue.go)
 
 	// Signal-handler support (see Interrupt / SpinInterruptible).
 	intr          []func()
@@ -77,14 +79,29 @@ func (p *Proc) AddBusy(d Time) { p.busy += d }
 // run executes the process body, catching panics so they surface from
 // Kernel.Run instead of killing a bare goroutine. The deferred handler
 // also runs when Kernel.Shutdown kills the process mid-park (park exits
-// via runtime.Goexit), so the kernel can always hand-shake on p.parked.
+// via runtime.Goexit): killed processes hand-shake with Shutdown on
+// p.parked, while normal completion keeps the scheduler token and drives
+// the event loop onward from this goroutine (see Kernel.dispatch).
 func (p *Proc) run(fn func(p *Proc)) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.panicked = fmt.Sprintf("sim: proc %q panicked: %v", p.name, r)
 		}
 		p.done = true
-		p.parked <- struct{}{}
+		if p.killed {
+			p.parked <- struct{}{}
+			return
+		}
+		k := p.k
+		delete(k.procs, p.id)
+		if !p.daemon {
+			k.ndCount--
+		}
+		if p.panicked != nil && k.panicked == nil {
+			k.panicked = p.panicked
+		}
+		k.running = nil
+		k.handoff(nil)
 	}()
 	<-p.resume
 	if p.killed {
@@ -94,18 +111,24 @@ func (p *Proc) run(fn func(p *Proc)) {
 }
 
 // park returns control to the scheduler until a wake event resumes this
-// process. reason appears in deadlock reports. If the kernel is shutting
-// down, park never returns: the goroutine exits through its deferred
+// process: the event loop continues on this goroutine until another
+// process must run, at which point control transfers directly to it.
+// reason appears in deadlock reports. If the kernel is shutting down,
+// park never returns: the goroutine exits through its deferred
 // completion handler.
 func (p *Proc) park(reason string) {
 	if p.k.running != p {
 		panic(fmt.Sprintf("sim: park of %q from outside its own context", p.name))
 	}
 	p.reason = reason
-	p.parked <- struct{}{}
-	<-p.resume
-	if p.killed {
-		runtime.Goexit()
+	p.parkedAt = p.k.now
+	p.k.running = nil
+	if !p.k.handoff(p) {
+		// Control went elsewhere; block until a wake event resumes us.
+		<-p.resume
+		if p.killed {
+			runtime.Goexit()
+		}
 	}
 	p.reason = ""
 }
@@ -113,15 +136,13 @@ func (p *Proc) park(reason string) {
 // wakeAt schedules this process to resume at time t. It is idempotent
 // while a wake is already pending, so racing wake sources (Put plus
 // timeout, Broadcast plus Interrupt) cannot double-resume a process.
+// Wake events are closure-free: the kernel resumes the process directly
+// when the event fires (see event.go).
 func (p *Proc) wakeAt(t Time) {
 	if p.wake.valid() {
 		return
 	}
-	k := p.k
-	p.wake = k.schedule(t, func() {
-		p.wake = evref{}
-		k.resumeProc(p)
-	})
+	p.wake = p.k.scheduleWake(t, p)
 }
 
 // Sleep advances this process's local time by d without consuming CPU
@@ -177,7 +198,12 @@ func (p *Proc) PendingInterrupts() int { return len(p.intr) }
 func (p *Proc) runInterrupts() {
 	for len(p.intr) > 0 {
 		fn := p.intr[0]
-		p.intr = p.intr[1:]
+		// Shift down instead of re-slicing so the backing array stays
+		// anchored and future appends reuse it (the queue is almost
+		// always length 1, so the copy is trivial).
+		copy(p.intr, p.intr[1:])
+		p.intr[len(p.intr)-1] = nil
+		p.intr = p.intr[:len(p.intr)-1]
 		t0 := p.k.now
 		b0 := p.busy
 		fn()

@@ -4,61 +4,143 @@ package sim
 // Get parks the calling process until an item is available. A Queue is
 // safe for use by any number of simulated processes (the kernel's strict
 // hand-off scheduling means no real concurrency ever occurs).
+//
+// Both the item store and the waiter list are ring buffers, so the
+// steady state allocates nothing: TryGet no longer drifts the backing
+// array and PutFront reuses the ring instead of building a fresh slice
+// per call. Waiter removal is O(1) amortized — each waiting process
+// remembers its ring position, and removal tombstones the slot for the
+// next wake to skip.
 type Queue[T any] struct {
-	name    string
-	items   []T
-	waiters []*Proc
+	name  string
+	where string // park label, built once ("queue " + name)
+	items []T    // ring buffer
+	head  int
+	n     int
+
+	waiters  []*Proc // ring buffer; nil entries are removed waiters
+	whead    int     // ring index of the logical head
+	wcount   int     // slots in use, tombstones included
+	wheadPos uint64  // position counter of the slot at whead
+	wnextPos uint64  // position assigned to the next enqueued waiter
 }
 
 // NewQueue returns an empty queue; name appears in deadlock reports.
 func NewQueue[T any](name string) *Queue[T] {
-	return &Queue[T]{name: name}
+	return &Queue[T]{name: name, where: "queue " + name}
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.n }
+
+// grow doubles the item ring, unrolling it into the new backing array.
+func (q *Queue[T]) grow() {
+	c := 2 * len(q.items)
+	if c == 0 {
+		c = 8
+	}
+	items := make([]T, c)
+	for i := 0; i < q.n; i++ {
+		items[i] = q.items[(q.head+i)%len(q.items)]
+	}
+	q.items = items
+	q.head = 0
+}
 
 // Put appends v and wakes the oldest waiting process, if any. It may be
 // called from process or scheduler context.
 func (q *Queue[T]) Put(v T) {
-	q.items = append(q.items, v)
+	if q.n == len(q.items) {
+		q.grow()
+	}
+	q.items[(q.head+q.n)%len(q.items)] = v
+	q.n++
 	q.wakeOne()
 }
 
 // PutFront prepends v (used to return an item taken speculatively).
 func (q *Queue[T]) PutFront(v T) {
-	q.items = append([]T{v}, q.items...)
+	if q.n == len(q.items) {
+		q.grow()
+	}
+	q.head = (q.head - 1 + len(q.items)) % len(q.items)
+	q.items[q.head] = v
+	q.n++
 	q.wakeOne()
 }
 
+// wakeOne pops the oldest live waiter and schedules its resume, skipping
+// tombstoned slots.
 func (q *Queue[T]) wakeOne() {
-	if len(q.waiters) == 0 {
-		return
+	for q.wcount > 0 {
+		p := q.waiters[q.whead]
+		q.waiters[q.whead] = nil
+		q.whead = (q.whead + 1) % len(q.waiters)
+		q.wheadPos++
+		q.wcount--
+		if p != nil {
+			p.wakeAt(p.k.now)
+			return
+		}
 	}
-	p := q.waiters[0]
-	q.waiters = q.waiters[1:]
-	p.wakeAt(p.k.now)
+}
+
+// addWaiter parks p at the tail of the waiter ring, recording its
+// position for O(1) removal. A process waits on at most one queue at a
+// time, so the position lives on the Proc itself.
+func (q *Queue[T]) addWaiter(p *Proc) {
+	if q.wcount == len(q.waiters) {
+		c := 2 * len(q.waiters)
+		if c == 0 {
+			c = 4
+		}
+		ws := make([]*Proc, c)
+		for i := 0; i < q.wcount; i++ {
+			ws[i] = q.waiters[(q.whead+i)%len(q.waiters)]
+		}
+		q.waiters = ws
+		q.whead = 0
+	}
+	q.waiters[(q.whead+q.wcount)%len(q.waiters)] = p
+	p.wpos = q.wnextPos
+	q.wnextPos++
+	q.wcount++
+}
+
+// removeWaiter tombstones p's slot if p is still enqueued; a no-op when
+// a wake already dequeued it. O(1): the slot is computed from the
+// position recorded at addWaiter.
+func (q *Queue[T]) removeWaiter(p *Proc) {
+	off := p.wpos - q.wheadPos
+	if off >= uint64(q.wcount) {
+		return // already dequeued (position fell off the ring head)
+	}
+	i := (q.whead + int(off)) % len(q.waiters)
+	if q.waiters[i] == p {
+		q.waiters[i] = nil
+	}
 }
 
 // TryGet removes and returns the head item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items[0] = zero
-	q.items = q.items[1:]
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head = (q.head + 1) % len(q.items)
+	q.n--
 	return v, true
 }
 
 // Peek returns the head item without removing it.
 func (q *Queue[T]) Peek() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return zero, false
 	}
-	return q.items[0], true
+	return q.items[q.head], true
 }
 
 // Get removes and returns the head item, parking p until one is
@@ -68,8 +150,8 @@ func (q *Queue[T]) Get(p *Proc) T {
 		if v, ok := q.TryGet(); ok {
 			return v
 		}
-		q.waiters = append(q.waiters, p)
-		p.park("queue " + q.name)
+		q.addWaiter(p)
+		p.park(q.where)
 	}
 }
 
@@ -85,22 +167,19 @@ func (q *Queue[T]) GetTimeout(p *Proc, d Time) (T, bool) {
 		if p.k.now >= deadline {
 			return zero, false
 		}
-		q.waiters = append(q.waiters, p)
+		timedOut := false
 		ev := p.k.schedule(deadline, func() {
+			timedOut = true
 			q.removeWaiter(p)
 			p.wakeAt(p.k.now)
 		})
-		p.park("queue " + q.name)
-		p.k.cancel(ev)
-		q.removeWaiter(p)
-	}
-}
-
-func (q *Queue[T]) removeWaiter(p *Proc) {
-	for i, w := range q.waiters {
-		if w == p {
-			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
-			return
+		q.addWaiter(p)
+		p.park(q.where)
+		if !timedOut {
+			// Woken by Put (which dequeued p) — just disarm the timer;
+			// the timeout path already removed p above.
+			p.k.cancel(ev)
+			q.removeWaiter(p)
 		}
 	}
 }

@@ -47,6 +47,7 @@ type Perf struct {
 	Wall    time.Duration // elapsed wall-clock for the whole sweep
 	JobWall time.Duration // sum of per-job wall-clock (serial equivalent)
 	Events  uint64        // simulated events across all jobs
+	Allocs  uint64        // heap allocations during the sweep (all workers)
 }
 
 // Speedup is the sweep's parallel speedup: serial-equivalent time over
@@ -64,6 +65,17 @@ func (p Perf) EventsPerSec() float64 {
 		return 0
 	}
 	return float64(p.Events) / p.Wall.Seconds()
+}
+
+// AllocsPerEvent is the sweep's heap-allocation cost per simulated event
+// — the kernel hot path's headline efficiency number. It includes the
+// per-job setup allocations (cluster construction), so long-running jobs
+// approach the kernel's steady-state cost from above.
+func (p Perf) AllocsPerEvent() float64 {
+	if p.Events == 0 {
+		return 0
+	}
+	return float64(p.Allocs) / float64(p.Events)
 }
 
 // Result pairs a sweep's points (in job order) with its execution
@@ -108,6 +120,9 @@ type Sweep[T any] struct {
 func (s Sweep[T]) Run(workers int) *Result[T] {
 	workers = Workers(workers, len(s.Jobs))
 	points := make([]Point[T], len(s.Jobs))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocs0 := ms.Mallocs
 	start := time.Now()
 	if workers <= 1 {
 		for i := range s.Jobs {
@@ -132,6 +147,8 @@ func (s Sweep[T]) Run(workers int) *Result[T] {
 		wg.Wait()
 	}
 	perf := Perf{Name: s.Name, Jobs: len(s.Jobs), Workers: workers, Wall: time.Since(start)}
+	runtime.ReadMemStats(&ms)
+	perf.Allocs = ms.Mallocs - mallocs0
 	for i := range points {
 		perf.JobWall += points[i].Wall
 		perf.Events += points[i].Events
