@@ -1,10 +1,13 @@
-# Tier-1 gate: everything must build, vet clean, and pass the race
-# detector. This is what CI runs on every change.
+# Tier-1 gate: everything must build, vet clean, pass the full suite,
+# and pass the race detector in short mode (short bounds the ~10x race
+# slowdown on the heavier sweep tests). This is what CI runs on every
+# change.
 .PHONY: check
 check:
 	go build ./...
 	go vet ./...
-	go test -race ./...
+	go test ./...
+	go test -race -short ./...
 
 .PHONY: test
 test:

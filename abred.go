@@ -6,6 +6,7 @@ import (
 	"abred/internal/cluster"
 	"abred/internal/coll"
 	"abred/internal/core"
+	"abred/internal/fault"
 	"abred/internal/model"
 	"abred/internal/mpi"
 )
@@ -32,6 +33,16 @@ type Metrics = core.Metrics
 // NodeSpec describes one node's hardware.
 type NodeSpec = model.NodeSpec
 
+// FaultConfig describes fabric fault injection (see WithFault); the
+// zero value is a perfect fabric.
+type FaultConfig = fault.Config
+
+// FaultRule is the stochastic fault profile of a link.
+type FaultRule = fault.Rule
+
+// FaultScript drops the Nth frame on one directed link.
+type FaultScript = fault.Script
+
 // Cluster is a simulated machine room ready to run SPMD programs.
 type Cluster struct {
 	c *cluster.Cluster
@@ -51,6 +62,7 @@ func NewCluster(opts ...Option) *Cluster {
 		Specs: cfg.specs,
 		Costs: cfg.costs,
 		Seed:  cfg.seed,
+		Fault: cfg.fault,
 	})}
 }
 

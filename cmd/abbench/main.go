@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	abbench [-fig 6|7|8|9|10|all] [-ablations] [-iters N] [-seed N]
-//	        [-parallel N] [-csv] [-sweepjson FILE]
+//	abbench [-fig 6|7|8|9|10|loss|all] [-ablations] [-iters N] [-seed N]
+//	        [-loss P] [-faultseed N] [-parallel N] [-csv] [-sweepjson FILE]
 //
 // Each figure prints as an aligned table; -csv switches to CSV for
 // plotting. Every figure is a grid of independent simulations, so
@@ -16,6 +16,12 @@
 // BENCH_sweep.json, empty to disable). The defaults (200 iterations)
 // give stable virtual-time averages in seconds of wall time; the
 // paper's 10,000 iterations also work if you have the patience.
+//
+// -loss P makes the fabric drop each frame with probability P and
+// switches GM to reliable delivery; -faultseed seeds the dedicated
+// fault stream (same seed, same drops — independent of -seed). -fig
+// loss runs the ab-vs-nab loss sweep over the paper's 0.1–5% range
+// instead of a uniform rate.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"abred/internal/bench"
+	"abred/internal/fault"
 	"abred/internal/sweep"
 )
 
@@ -55,16 +62,23 @@ func entry(p sweep.Perf) sweepEntry {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10 or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, loss or all")
 	ablations := flag.Bool("ablations", false, "also run the delay-heuristic and NIC-reduction studies")
 	iters := flag.Int("iters", 200, "benchmark iterations per data point")
 	seed := flag.Int64("seed", 20030701, "simulation seed (results are exactly reproducible per seed)")
+	loss := flag.Float64("loss", 0, "frame-drop probability on every link (enables GM reliable delivery)")
+	faultSeed := flag.Int64("faultseed", 0, "seed of the dedicated fault-decision stream")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	sweepJSON := flag.String("sweepjson", "BENCH_sweep.json", "write per-figure sweep metrics here (empty to disable)")
 	flag.Parse()
+	if *loss < 0 || *loss >= 1 {
+		fmt.Fprintf(os.Stderr, "abbench: -loss %v outside [0, 1)\n", *loss)
+		os.Exit(2)
+	}
 
-	o := bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel}
+	o := bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel,
+		Fault: fault.Config{Seed: *faultSeed, Rule: fault.Rule{Drop: *loss}}}
 
 	var entries []sweepEntry
 	emit := func(t *bench.Table) {
@@ -103,8 +117,15 @@ func main() {
 		emit(bench.Fig10(o))
 		ran++
 	}
+	if *fig == "loss" {
+		// The sweep sets its own per-row loss rates; -loss would apply a
+		// second uniform rate on top, so it is ignored here.
+		emit(bench.LossSweep(bench.PaperLossRates(), *faultSeed,
+			bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel}))
+		ran++
+	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "abbench: unknown figure %q (want 6, 7, 8, 9, 10 or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "abbench: unknown figure %q (want 6, 7, 8, 9, 10, loss or all)\n", *fig)
 		os.Exit(2)
 	}
 

@@ -8,10 +8,12 @@
 // Usage:
 //
 //	abscale [-max N | -sizes 32,128,512,1024] [-count N] [-iters N]
-//	        [-seed N] [-skew D] [-parallel N] [-csv] [-benchjson FILE]
+//	        [-seed N] [-skew D] [-loss P] [-faultseed N] [-parallel N]
+//	        [-csv] [-benchjson FILE]
 //
 // -sizes names the node counts directly, overriding the -max doubling
-// grid. -benchjson records the kernel's execution metrics — events/sec
+// grid. -loss P drops each frame with probability P (switching GM to
+// reliable delivery); -faultseed seeds the dedicated fault stream. -benchjson records the kernel's execution metrics — events/sec
 // and allocs/event for each sweep, plus the fixed 32-node kernel
 // microbenchmark against its recorded pre-overhaul baseline — to FILE
 // (the committed BENCH_kernel.json is produced this way via make bench).
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"abred/internal/bench"
+	"abred/internal/fault"
 	"abred/internal/sweep"
 )
 
@@ -62,6 +65,8 @@ func main() {
 	iters := flag.Int("iters", 100, "iterations per data point")
 	seed := flag.Int64("seed", 20030701, "simulation seed")
 	skew := flag.Duration("skew", time.Millisecond, "maximum skew for the skewed sweep")
+	loss := flag.Float64("loss", 0, "frame-drop probability on every link (enables GM reliable delivery)")
+	faultSeed := flag.Int64("faultseed", 0, "seed of the dedicated fault-decision stream")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	benchJSON := flag.String("benchjson", "", "write kernel performance metrics here (empty to disable)")
@@ -96,7 +101,8 @@ func main() {
 		{0, "no artificial skew"},
 	} {
 		t := bench.ScaleProjection(sizes, s.skew, *count,
-			bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel})
+			bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel,
+				Fault: fault.Config{Seed: *faultSeed, Rule: fault.Rule{Drop: *loss}}})
 		t.Title = fmt.Sprintf("%s (%s, max skew %v, %d elements)", t.Title, s.note, s.skew, *count)
 		if *csv {
 			t.WriteCSV(os.Stdout)

@@ -24,6 +24,7 @@ import (
 	"abred/internal/cluster"
 	"abred/internal/coll"
 	"abred/internal/core"
+	"abred/internal/fault"
 	"abred/internal/model"
 	"abred/internal/mpi"
 	"abred/internal/sim"
@@ -65,6 +66,10 @@ type Config struct {
 	Root    int
 	Costs   *model.Costs // nil = model.DefaultCosts (sensitivity studies)
 
+	// Fault injects fabric faults (and reliable GM delivery); the zero
+	// value keeps the fabric perfect.
+	Fault fault.Config
+
 	// RendezvousAB opts the engines into the §V-B large-message bypass
 	// extension (AppBypass mode only).
 	RendezvousAB bool
@@ -72,7 +77,7 @@ type Config struct {
 
 // clusterConfig assembles the cluster construction parameters.
 func (c *Config) clusterConfig() cluster.Config {
-	cc := cluster.Config{Specs: c.Specs, Seed: c.Seed}
+	cc := cluster.Config{Specs: c.Specs, Seed: c.Seed, Fault: c.Fault}
 	if c.Costs != nil {
 		cc.Costs = *c.Costs
 	}
@@ -91,13 +96,43 @@ func (c *Config) defaults() {
 	}
 }
 
+// RelTotals aggregates fault and reliability activity across a whole
+// cluster run; all zeros on a perfect fabric.
+type RelTotals struct {
+	Dropped     uint64 // frames the fault injector discarded
+	Duplicated  uint64 // extra copies the fault injector delivered
+	Retransmits uint64 // data packets GM resent after a timeout
+	AcksSent    uint64 // standalone cumulative acks on the wire
+	DupsDropped uint64 // duplicate/out-of-order arrivals GM discarded
+	Overflow    uint64 // sends past the retransmit-ring bound
+	RetriedMsgs uint64 // retried packets that reached a progress engine
+}
+
+// relTotals sums the counters after a run.
+func relTotals(cl *cluster.Cluster) RelTotals {
+	var t RelTotals
+	t.Dropped, t.Duplicated = cl.Fabric.FaultStats()
+	for _, n := range cl.Nodes {
+		s := n.NIC.Stats()
+		t.Retransmits += s.Retransmits
+		t.AcksSent += s.RelAcksSent
+		t.DupsDropped += s.RelDupsDropped
+		t.Overflow += s.RelOverflow
+		if n.MPI != nil {
+			t.RetriedMsgs += n.MPI.Stats.RetriedMsgs
+		}
+	}
+	return t
+}
+
 // CPUUtilResult is one CPU-utilization measurement.
 type CPUUtilResult struct {
 	AvgCPU  sim.Time // mean over nodes and iterations (the paper's metric)
 	PerNode []sim.Time
 	Summary stats.Summary
-	Signals uint64 // total signals handled across the cluster
-	Events  uint64 // simulated events executed (simulation cost)
+	Signals uint64    // total signals handled across the cluster
+	Events  uint64    // simulated events executed (simulation cost)
+	Rel     RelTotals // fault/reliability activity (zero on a clean fabric)
 }
 
 // CPUUtil runs the CPU-utilization microbenchmark.
@@ -170,6 +205,7 @@ func CPUUtil(cfg Config) CPUUtilResult {
 		Summary: stats.Summarize(perNode),
 		Signals: signals,
 		Events:  cl.K.Events(),
+		Rel:     relTotals(cl),
 	}
 }
 

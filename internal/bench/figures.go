@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"abred/internal/core"
+	"abred/internal/fault"
 	"abred/internal/model"
 	"abred/internal/sim"
 	"abred/internal/sweep"
@@ -25,6 +26,10 @@ type Opts struct {
 	Iters   int   // benchmark iterations per data point (0 = 200)
 	Seed    int64 // simulation seed; identical seeds reproduce tables exactly
 	Workers int   // sweep worker pool size (0 = GOMAXPROCS)
+
+	// Fault injects fabric faults into every simulated cluster (the
+	// -loss/-faultseed flags); zero value = perfect fabric.
+	Fault fault.Config
 }
 
 func (o Opts) withDefaults() Opts {
@@ -196,7 +201,7 @@ func Fig6(o Opts) *Table {
 		xs[i] = us(s)
 	}
 	return cpuGrid(t, "fig6", xs, counts, func(xi, count int, mode Mode) Config {
-		return Config{Specs: specs, Count: count, Mode: mode, MaxSkew: skews[xi], Iters: o.Iters, Seed: o.Seed}
+		return Config{Specs: specs, Count: count, Mode: mode, MaxSkew: skews[xi], Iters: o.Iters, Seed: o.Seed, Fault: o.Fault}
 	}, o)
 }
 
@@ -217,7 +222,7 @@ func Fig7(o Opts) *Table {
 	sizes := PaperSizes()
 	return cpuGrid(t, "fig7", floats(sizes), counts, func(xi, count int, mode Mode) Config {
 		return Config{Specs: model.PaperCluster(sizes[xi]), Count: count, Mode: mode,
-			MaxSkew: 1000 * time.Microsecond, Iters: o.Iters, Seed: o.Seed}
+			MaxSkew: 1000 * time.Microsecond, Iters: o.Iters, Seed: o.Seed, Fault: o.Fault}
 	}, o)
 }
 
@@ -238,7 +243,7 @@ func Fig8(o Opts) *Table {
 	}
 	sizes := PaperSizes()
 	return cpuGrid(t, "fig8", floats(sizes), counts, func(xi, count int, mode Mode) Config {
-		return Config{Specs: model.PaperCluster(sizes[xi]), Count: count, Mode: mode, Iters: o.Iters, Seed: o.Seed}
+		return Config{Specs: model.PaperCluster(sizes[xi]), Count: count, Mode: mode, Iters: o.Iters, Seed: o.Seed, Fault: o.Fault}
 	}, o)
 }
 
@@ -258,7 +263,7 @@ func Fig9(o Opts) (hetero, homog *Table) {
 			},
 		}
 		return latGrid(t, fig, floats(sizes), func(xi int, mode Mode) Config {
-			return Config{Specs: specsFor(sizes[xi]), Count: 1, Mode: mode, Iters: o.Iters, Seed: o.Seed}
+			return Config{Specs: specsFor(sizes[xi]), Count: 1, Mode: mode, Iters: o.Iters, Seed: o.Seed, Fault: o.Fault}
 		}, o)
 	}
 	hetero = mk("Fig. 9a — reduce latency vs. nodes (heterogeneous, 1 element)", "fig9a", PaperSizes(), model.PaperCluster)
@@ -282,7 +287,7 @@ func Fig10(o Opts) *Table {
 	specs := model.PaperCluster32()
 	counts := []int{1, 2, 4, 8, 16, 32, 64, 128}
 	return latGrid(t, "fig10", floats(counts), func(xi int, mode Mode) Config {
-		return Config{Specs: specs, Count: counts[xi], Mode: mode, Iters: o.Iters, Seed: o.Seed}
+		return Config{Specs: specs, Count: counts[xi], Mode: mode, Iters: o.Iters, Seed: o.Seed, Fault: o.Fault}
 	}, o)
 }
 
@@ -302,7 +307,7 @@ func ScaleProjection(sizes []int, skew sim.Time, count int, o Opts) *Table {
 	}
 	return pairGrid(t, "scale", [2]string{"nab", "ab"}, floats(sizes), func(xi, j int) Config {
 		return Config{Specs: model.PaperCluster(sizes[xi]), Count: count, Mode: cpuModes[j],
-			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed}
+			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Fault: o.Fault}
 	}, o)
 }
 
@@ -330,7 +335,7 @@ func AblationDelay(size, count int, skew sim.Time, o Opts) *Table {
 			pol = core.FixedDelay{D: d}
 		}
 		jobs = append(jobs, cpuJob(fmt.Sprintf("delay/x=%v", d),
-			Config{Specs: specs, Count: count, Mode: AppBypass, MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Delay: pol}))
+			Config{Specs: specs, Count: count, Mode: AppBypass, MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Fault: o.Fault, Delay: pol}))
 	}
 	return runGrid(t, xs, jobs, func(cells [][]float64) []float64 {
 		return []float64{cells[0][0], cells[0][1]}
@@ -365,7 +370,7 @@ func AblationSignalCost(size, count int, skew sim.Time, o Opts) *Table {
 		costs.SignalOvh = scosts[xi]
 		costs.SignalIgnored = scosts[xi] / 2
 		return Config{Specs: specs, Count: count, Mode: cpuModes[j],
-			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Costs: &costs}
+			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Fault: o.Fault, Costs: &costs}
 	}, o)
 }
 
@@ -385,7 +390,7 @@ func AblationHeterogeneity(size, count int, o Opts) *Table {
 	}
 	clusters := [][]model.NodeSpec{model.PaperCluster(size), model.Homogeneous1G(size)}
 	return pairGrid(t, "hetero", [2]string{"nab", "ab"}, []float64{0, 1}, func(xi, j int) Config {
-		return Config{Specs: clusters[xi], Count: count, Mode: cpuModes[j], Iters: o.Iters, Seed: o.Seed}
+		return Config{Specs: clusters[xi], Count: count, Mode: cpuModes[j], Iters: o.Iters, Seed: o.Seed, Fault: o.Fault}
 	}, o)
 }
 
@@ -408,7 +413,7 @@ func AblationRendezvousAB(size int, skew sim.Time, o Opts) *Table {
 	counts := []int{4096, 8192, 16384} // 32, 64, 128 KiB
 	return pairGrid(t, "rendezvous", [2]string{"fallback", "rendezvous"}, floats(counts), func(xi, j int) Config {
 		return Config{Specs: specs, Count: counts[xi], Mode: AppBypass,
-			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, RendezvousAB: j == 1}
+			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Fault: o.Fault, RendezvousAB: j == 1}
 	}, o)
 }
 
@@ -434,11 +439,85 @@ func AblationNICReduce(size int, skew sim.Time, o Opts) *Table {
 	for _, count := range counts {
 		for _, mode := range modes {
 			jobs = append(jobs, cpuJob(fmt.Sprintf("nicreduce/x=%d/%s", count, mode),
-				Config{Specs: specs, Count: count, Mode: mode, MaxSkew: skew, Iters: o.Iters, Seed: o.Seed}))
+				Config{Specs: specs, Count: count, Mode: mode, MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Fault: o.Fault}))
 		}
 	}
 	return runGrid(t, floats(counts), jobs, func(cells [][]float64) []float64 {
 		nab, ab, nic := cells[0][0], cells[1][0], cells[2][0]
 		return []float64{nab, ab, nic, nab / nic}
+	}, o.Workers)
+}
+
+// relCPUJob is cpuJob extended with fault/reliability counters:
+// [avg CPU µs, retransmits, injector drops, ring overflows].
+func relCPUJob(name string, cfg Config) sweep.Job[[]float64] {
+	return sweep.Job[[]float64]{Name: name, Seed: cfg.Seed, Run: func() ([]float64, uint64) {
+		r := CPUUtil(cfg)
+		return []float64{us(r.AvgCPU), float64(r.Rel.Retransmits),
+			float64(r.Rel.Dropped), float64(r.Rel.Overflow)}, r.Events
+	}}
+}
+
+// relLatJob is latJob extended the same way.
+func relLatJob(name string, cfg Config) sweep.Job[[]float64] {
+	return sweep.Job[[]float64]{Name: name, Seed: cfg.Seed, Run: func() ([]float64, uint64) {
+		r := Latency(cfg)
+		return []float64{us(r.AvgLatency), float64(r.Rel.Retransmits),
+			float64(r.Rel.Dropped), float64(r.Rel.Overflow)}, r.Events
+	}}
+}
+
+// PaperLossRates is the loss sweep's x axis: 0 (reliability off — the
+// paper's perfect fabric) through the 0.1–5% frame-loss range.
+func PaperLossRates() []float64 { return []float64{0, 0.001, 0.005, 0.01, 0.02, 0.05} }
+
+// LossSweep answers a question the paper's reliable testbed could not
+// ask: does application-bypass reduction keep its CPU and latency
+// advantage over the binomial reduction when the fabric drops frames
+// and GM must retransmit? Per loss rate it runs the Fig. 6 CPU workload
+// (32 nodes, 4 elements, max skew 1000 µs) and the Fig. 9 latency
+// workload (1 element, no skew) for both implementations. faultSeed
+// feeds the dedicated fault stream; the same seed replays the same
+// drop pattern.
+func LossSweep(rates []float64, faultSeed int64, o Opts) *Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title: "Loss sweep — ab vs. nab reduction on a lossy fabric",
+		XName: "loss_pct",
+		Cols:  []string{"nab_cpu", "ab_cpu", "factor", "nab_lat", "ab_lat", "retx", "drops", "overflow"},
+		Notes: []string{
+			"CPU columns: Fig. 6 workload (32 nodes, 4 elements, max skew",
+			"1000 us). Latency columns: Fig. 9 workload (1 element, no",
+			"skew). retx/drops/overflow sum GM retransmissions, injector",
+			"drops and retransmit-ring overflows across the row's 4 runs.",
+			"Row 0 is the perfect fabric (reliability machinery off).",
+		},
+	}
+	specs := model.PaperCluster32()
+	var jobs []sweep.Job[[]float64]
+	xs := make([]float64, len(rates))
+	for xi, rate := range rates {
+		xs[xi] = rate * 100
+		fc := fault.Config{Seed: faultSeed, Rule: fault.Rule{Drop: rate}}
+		for _, mode := range cpuModes {
+			jobs = append(jobs, relCPUJob(fmt.Sprintf("loss/x=%v/cpu/%s", rate, mode),
+				Config{Specs: specs, Count: 4, Mode: mode, MaxSkew: 1000 * time.Microsecond,
+					Iters: o.Iters, Seed: o.Seed, Fault: fc}))
+		}
+		for _, mode := range cpuModes {
+			jobs = append(jobs, relLatJob(fmt.Sprintf("loss/x=%v/lat/%s", rate, mode),
+				Config{Specs: specs, Count: 1, Mode: mode, Iters: o.Iters, Seed: o.Seed, Fault: fc}))
+		}
+	}
+	return runGrid(t, xs, jobs, func(cells [][]float64) []float64 {
+		nabCPU, abCPU := cells[0][0], cells[1][0]
+		nabLat, abLat := cells[2][0], cells[3][0]
+		var retx, drops, overflow float64
+		for _, c := range cells {
+			retx += c[1]
+			drops += c[2]
+			overflow += c[3]
+		}
+		return []float64{nabCPU, abCPU, nabCPU / abCPU, nabLat, abLat, retx, drops, overflow}
 	}, o.Workers)
 }

@@ -13,7 +13,8 @@ type LatencyResult struct {
 	AvgLatency sim.Time
 	OneWay     sim.Time // measured root↔last-node one-way latency
 	Summary    stats.Summary
-	Events     uint64 // simulated events executed (simulation cost)
+	Events     uint64    // simulated events executed (simulation cost)
+	Rel        RelTotals // fault/reliability activity (zero on a clean fabric)
 }
 
 // notifyTag separates notification traffic from benchmark payloads.
@@ -92,5 +93,6 @@ func Latency(cfg Config) LatencyResult {
 		OneWay:     oneWay,
 		Summary:    stats.Summarize(samples),
 		Events:     cl.K.Events(),
+		Rel:        relTotals(cl),
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"abred/internal/core"
 	"abred/internal/fabric"
+	"abred/internal/fault"
 	"abred/internal/gm"
 	"abred/internal/model"
 	"abred/internal/mpi"
@@ -40,6 +41,12 @@ type Config struct {
 	Specs []model.NodeSpec // node hardware; one entry per node
 	Costs model.Costs      // zero value means model.DefaultCosts
 	Seed  int64            // kernel seed; reuse to reproduce a run exactly
+
+	// Fault describes fabric fault injection. The zero value keeps the
+	// fabric perfect and the hot path byte-identical to a fault-free
+	// build; anything else compiles a per-cluster fault.Plan, installs
+	// the gm pool hooks, and switches every NIC to reliable delivery.
+	Fault fault.Config
 }
 
 // New builds a cluster: kernel, fabric and NICs. MPI processes appear
@@ -53,6 +60,14 @@ func New(cfg Config) *Cluster {
 	}
 	k := sim.New(cfg.Seed)
 	fab := fabric.New(k, len(cfg.Specs), cfg.Costs)
+	if plan := fault.New(cfg.Fault); plan != nil {
+		// Each cluster compiles its own Plan (Plans hold mutable RNG
+		// state, and the sweep engine runs clusters concurrently) and
+		// installs the gm pool hooks so dropped and duplicated frames
+		// keep packet accounting balanced.
+		fab.Inject = plan
+		fab.OnDrop, fab.ClonePayload = gm.FaultHooks()
+	}
 	c := &Cluster{K: k, Costs: cfg.Costs, Fabric: fab}
 	for i, spec := range cfg.Specs {
 		cm := model.NewCostModel(spec, cfg.Costs)
@@ -62,6 +77,9 @@ func New(cfg Config) *Cluster {
 			CM:   cm,
 			NIC:  gm.NewNIC(k, i, cm, fab),
 		})
+		if fab.Inject != nil {
+			c.Nodes[i].NIC.EnableReliability()
+		}
 	}
 	return c
 }
@@ -92,7 +110,16 @@ func (c *Cluster) Run(program Program) sim.Time {
 			program(n, n.world)
 		})
 	}
-	return c.K.Run()
+	end := c.K.Run()
+	for _, n := range c.Nodes {
+		if err := n.NIC.RelError(); err != nil {
+			// Graceful degradation for a dead link: the reliability
+			// engine already stopped the kernel; surface the per-port
+			// error instead of the watchdog's opaque deadlock report.
+			panic(fmt.Sprintf("cluster: %v", err))
+		}
+	}
+	return end
 }
 
 // Close shuts the simulation down, unblocking and exiting every parked

@@ -29,6 +29,22 @@ type Frame struct {
 	SentAt   sim.Time
 }
 
+// Verdict is one frame's fate on a faulty fabric. The zero Verdict is a
+// clean traversal.
+type Verdict struct {
+	Drop  bool     // frame is lost in the switch, never delivered
+	Dup   bool     // a duplicate copy is also delivered
+	Delay sim.Time // extra delivery latency (reorder jitter); does not
+	// hold the ejection link, so later frames can overtake
+}
+
+// Injector decides per-frame faults. Judge runs once per Send, in
+// scheduler context, and must be deterministic given the fabric's call
+// sequence (draw randomness from a dedicated seeded stream).
+type Injector interface {
+	Judge(src, dst int) Verdict
+}
+
 // Fabric connects n nodes through one switch.
 type Fabric struct {
 	k         *sim.Kernel
@@ -41,9 +57,22 @@ type Fabric struct {
 
 	dfree []*delivery // recycled in-flight frame records
 
-	frames    uint64
-	bytes     uint64
-	OnDeliver func(Frame) // optional trace hook, called at delivery time
+	frames     uint64
+	bytes      uint64
+	dropped    uint64
+	duplicated uint64
+	OnDeliver  func(Frame) // optional trace hook, called at delivery time
+
+	// Inject, when non-nil, is consulted once per Send; the nil path is
+	// allocation-free and byte-identical to a fault-free fabric.
+	Inject Injector
+	// OnDrop observes frames the injector discards, so the owner can
+	// recycle pooled payloads that will never reach a sink.
+	OnDrop func(Frame)
+	// ClonePayload deep-copies a payload for duplicated frames. Without
+	// it the duplicate shares the original's Payload pointer — unsafe
+	// when sinks recycle payloads into pools after consuming them.
+	ClonePayload func(any) any
 }
 
 // New builds a fabric for n nodes.
@@ -98,7 +127,9 @@ func (f *Fabric) serialize(n int) sim.Time {
 
 // Send injects a frame. Delivery is scheduled for
 // max(now, injection-link free) + serialization + propagation + switch
-// hop, further delayed if the destination's ejection link is busy.
+// hop, further delayed if the destination's ejection link is busy: the
+// frame's head waits for the link, then the frame serializes onto it,
+// so N senders to one node contend for the ejection link's bandwidth.
 func (f *Fabric) Send(frame Frame) {
 	if frame.Src < 0 || frame.Src >= len(f.sinks) || frame.Dst < 0 || frame.Dst >= len(f.sinks) {
 		panic(fmt.Sprintf("fabric: bad route %d -> %d", frame.Src, frame.Dst))
@@ -113,21 +144,54 @@ func (f *Fabric) Send(frame Frame) {
 	if f.injectFree[frame.Src] > depart {
 		depart = f.injectFree[frame.Src]
 	}
-	depart += f.serialize(frame.Size)
+	ser := f.serialize(frame.Size)
+	depart += ser
 	f.injectFree[frame.Src] = depart
-
-	arrive := depart + f.costs.WireProp + f.costs.SwitchHop
-	if frame.Src == frame.Dst {
-		// Loopback through the NIC, no switch traversal.
-		arrive = depart
-	}
-	if f.ejectFree[frame.Dst] > arrive {
-		arrive = f.ejectFree[frame.Dst]
-	}
-	f.ejectFree[frame.Dst] = arrive
 
 	f.frames++
 	f.bytes += uint64(frame.Size)
+
+	if f.Inject != nil {
+		v := f.Inject.Judge(frame.Src, frame.Dst)
+		if v.Drop {
+			// The frame occupied the injection link but dies in the
+			// switch: no ejection occupancy, no delivery.
+			f.dropped++
+			if f.OnDrop != nil {
+				f.OnDrop(frame)
+			}
+			return
+		}
+		f.eject(frame, now, depart, ser, v.Delay)
+		if v.Dup {
+			dup := frame
+			if f.ClonePayload != nil {
+				dup.Payload = f.ClonePayload(frame.Payload)
+			}
+			f.duplicated++
+			f.eject(dup, now, depart, ser, v.Delay)
+		}
+		return
+	}
+	f.eject(frame, now, depart, ser, 0)
+}
+
+// eject charges the destination's ejection link and schedules delivery.
+// The frame's head reaches the link ser before its injection finished,
+// plus propagation and one switch hop (zero on loopback); it then waits
+// for the link to free and serializes onto it. For an uncontended flow
+// this reduces to the classic depart + prop + hop arrival. extra delays
+// delivery without holding the link, so later frames can overtake.
+func (f *Fabric) eject(frame Frame, now, depart, ser, extra sim.Time) {
+	head := depart - ser
+	if frame.Src != frame.Dst {
+		head += f.costs.WireProp + f.costs.SwitchHop
+	}
+	if f.ejectFree[frame.Dst] > head {
+		head = f.ejectFree[frame.Dst]
+	}
+	arrive := head + ser
+	f.ejectFree[frame.Dst] = arrive
 
 	var dl *delivery
 	if n := len(f.dfree); n > 0 {
@@ -138,8 +202,11 @@ func (f *Fabric) Send(frame Frame) {
 		dl = &delivery{f: f}
 	}
 	dl.fr = frame
-	f.k.AfterRunner(arrive-now, dl)
+	f.k.AfterRunner(arrive+extra-now, dl)
 }
 
 // Stats reports total frames and bytes injected so far.
 func (f *Fabric) Stats() (frames, bytes uint64) { return f.frames, f.bytes }
+
+// FaultStats reports frames the injector dropped or duplicated.
+func (f *Fabric) FaultStats() (dropped, duplicated uint64) { return f.dropped, f.duplicated }

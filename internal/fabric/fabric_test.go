@@ -152,6 +152,110 @@ func TestOnDeliverHook(t *testing.T) {
 	}
 }
 
+// TestEjectionContentionTwoSenders: two nodes each pushing a 10 µs
+// frame at the same receiver must serialize on the receiver's ejection
+// link — the second frame's head waits for the first to finish
+// ejecting. Before the ejection fix both frames "arrived" after a
+// single serialization, silently doubling the modeled ejection
+// bandwidth under fan-in.
+func TestEjectionContentionTwoSenders(t *testing.T) {
+	k, f, got := build(3)
+	arrivals := map[int]sim.Time{}
+	f.OnDeliver = func(fr Frame) { arrivals[fr.Payload.(int)] = k.Now() }
+	k.After(0, func() {
+		f.Send(Frame{Src: 0, Dst: 2, Size: 2500, Payload: 1}) // 10 µs at 250 MB/s
+		f.Send(Frame{Src: 1, Dst: 2, Size: 2500, Payload: 2})
+	})
+	end := k.Run()
+	if len(got[2]) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(got[2]))
+	}
+	// Head reaches the switch at 800 ns (prop + hop); first frame ejects
+	// over [800 ns, 10.8 µs], the second must queue behind it.
+	if arrivals[1] != 10800*time.Nanosecond {
+		t.Errorf("first frame arrived at %v, want 10.8µs", arrivals[1])
+	}
+	if arrivals[2] != 20800*time.Nanosecond {
+		t.Errorf("second frame arrived at %v, want 20.8µs (ejection-link contention)", arrivals[2])
+	}
+	if end != 20800*time.Nanosecond {
+		t.Errorf("end = %v", end)
+	}
+}
+
+// scriptInj replays a fixed verdict sequence, one per Send.
+type scriptInj struct {
+	verdicts []Verdict
+	i        int
+}
+
+func (s *scriptInj) Judge(src, dst int) Verdict {
+	if s.i >= len(s.verdicts) {
+		return Verdict{}
+	}
+	v := s.verdicts[s.i]
+	s.i++
+	return v
+}
+
+func TestInjectorDrop(t *testing.T) {
+	k, f, got := build(2)
+	f.Inject = &scriptInj{verdicts: []Verdict{{Drop: true}, {}}}
+	var droppedPayload any
+	f.OnDrop = func(fr Frame) { droppedPayload = fr.Payload }
+	k.After(0, func() {
+		f.Send(Frame{Src: 0, Dst: 1, Size: 100, Payload: 1})
+		f.Send(Frame{Src: 0, Dst: 1, Size: 100, Payload: 2})
+	})
+	k.Run()
+	if len(got[1]) != 1 || got[1][0].Payload != 2 {
+		t.Fatalf("delivered %+v, want only payload 2", got[1])
+	}
+	if d, _ := f.FaultStats(); d != 1 {
+		t.Errorf("dropped = %d, want 1", d)
+	}
+	if droppedPayload != 1 {
+		t.Errorf("OnDrop saw %v, want payload 1", droppedPayload)
+	}
+}
+
+func TestInjectorDupClonesPayload(t *testing.T) {
+	k, f, got := build(2)
+	f.Inject = &scriptInj{verdicts: []Verdict{{Dup: true}}}
+	f.ClonePayload = func(p any) any { return p.(int) + 100 }
+	k.After(0, func() {
+		f.Send(Frame{Src: 0, Dst: 1, Size: 100, Payload: 1})
+	})
+	k.Run()
+	if len(got[1]) != 2 {
+		t.Fatalf("delivered %d frames, want original + duplicate", len(got[1]))
+	}
+	if got[1][0].Payload != 1 || got[1][1].Payload != 101 {
+		t.Errorf("payloads %v, %v: duplicate must carry the cloned payload", got[1][0].Payload, got[1][1].Payload)
+	}
+	if _, dup := f.FaultStats(); dup != 1 {
+		t.Errorf("duplicated = %d, want 1", dup)
+	}
+}
+
+// TestInjectorDelayAllowsOvertake: jitter delays delivery without
+// holding the ejection link, so a later clean frame overtakes.
+func TestInjectorDelayAllowsOvertake(t *testing.T) {
+	k, f, got := build(2)
+	f.Inject = &scriptInj{verdicts: []Verdict{{Delay: 50 * us}, {}}}
+	k.After(0, func() {
+		f.Send(Frame{Src: 0, Dst: 1, Size: 100, Payload: 1})
+		f.Send(Frame{Src: 0, Dst: 1, Size: 100, Payload: 2})
+	})
+	k.Run()
+	if len(got[1]) != 2 {
+		t.Fatalf("delivered %d frames", len(got[1]))
+	}
+	if got[1][0].Payload != 2 || got[1][1].Payload != 1 {
+		t.Errorf("order %v, %v: jittered frame must be overtaken", got[1][0].Payload, got[1][1].Payload)
+	}
+}
+
 // TestSendZeroAllocSteadyState: injecting and delivering a frame is
 // allocation-free once the delivery-record pool and the event pool are
 // warm — the per-frame closure and its escaped Frame were two heap

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"abred/internal/fabric"
+)
+
+func TestZeroConfigDisabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero Config must be disabled")
+	}
+	if (Config{Seed: 42}).Enabled() {
+		t.Error("a bare seed injects nothing and must stay disabled")
+	}
+	if New(Config{Seed: 42}) != nil {
+		t.Error("New must return nil for a disabled config")
+	}
+}
+
+func TestEnabledVariants(t *testing.T) {
+	cases := []Config{
+		{Rule: Rule{Drop: 0.1}},
+		{Rule: Rule{Dup: 0.1}},
+		{Rule: Rule{Jitter: time.Microsecond, JitterP: 0.5}},
+		{Links: []Link{{Src: 0, Dst: 1, Rule: Rule{Drop: 1}}}},
+		{Scripts: []Script{{Src: 0, Dst: 1, Nth: 3}}},
+	}
+	for i, c := range cases {
+		if !c.Enabled() {
+			t.Errorf("case %d: %+v must be enabled", i, c)
+		}
+		if New(c) == nil {
+			t.Errorf("case %d: New returned nil for an enabled config", i)
+		}
+	}
+	// A config whose only links carry zero rules injects nothing.
+	if (Config{Links: []Link{{Src: 0, Dst: 1}}}).Enabled() {
+		t.Error("zero-rule link override must not enable the plan")
+	}
+}
+
+// TestScriptedNthDrop: the script drops exactly the Nth frame on its
+// link and nothing else, anywhere.
+func TestScriptedNthDrop(t *testing.T) {
+	p := New(Config{Scripts: []Script{{Src: 0, Dst: 1, Nth: 3}}})
+	for i := 1; i <= 5; i++ {
+		v := p.Judge(0, 1)
+		if v.Drop != (i == 3) {
+			t.Errorf("frame %d on (0,1): drop = %v", i, v.Drop)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if v := p.Judge(1, 0); v != (fabric.Verdict{}) {
+			t.Errorf("unscripted link faulted: %+v", v)
+		}
+	}
+}
+
+// TestDeterminism: two plans compiled from the same config return the
+// same verdict sequence for the same Judge call sequence.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Rule: Rule{Drop: 0.3, Dup: 0.2, Jitter: 10 * time.Microsecond, JitterP: 0.5}}
+	p1, p2 := New(cfg), New(cfg)
+	diff := 0
+	for i := 0; i < 500; i++ {
+		src, dst := i%3, (i+1)%3
+		if p1.Judge(src, dst) != p2.Judge(src, dst) {
+			diff++
+		}
+	}
+	if diff != 0 {
+		t.Errorf("%d of 500 verdicts differ between identically-seeded plans", diff)
+	}
+}
+
+func TestSeedChangesVerdicts(t *testing.T) {
+	mk := func(seed int64) string {
+		p := New(Config{Seed: seed, Rule: Rule{Drop: 0.5}})
+		out := make([]byte, 200)
+		for i := range out {
+			if p.Judge(0, 1).Drop {
+				out[i] = '1'
+			}
+		}
+		return string(out)
+	}
+	if mk(1) == mk(2) {
+		t.Error("different seeds produced identical drop sequences")
+	}
+}
+
+func TestLoopbackNeverFaulted(t *testing.T) {
+	p := New(Config{Rule: Rule{Drop: 1, Dup: 1, Jitter: time.Microsecond, JitterP: 1}})
+	for i := 0; i < 10; i++ {
+		if v := p.Judge(2, 2); v != (fabric.Verdict{}) {
+			t.Fatalf("loopback faulted: %+v", v)
+		}
+	}
+}
+
+// TestLinkOverride: a per-link rule replaces the cluster-wide default
+// on that directed link only.
+func TestLinkOverride(t *testing.T) {
+	p := New(Config{
+		Rule:  Rule{Drop: 1},
+		Links: []Link{{Src: 0, Dst: 1, Rule: Rule{}}}, // perfect link amid chaos
+	})
+	for i := 0; i < 10; i++ {
+		if p.Judge(0, 1).Drop {
+			t.Fatal("overridden link dropped a frame")
+		}
+		if !p.Judge(1, 0).Drop {
+			t.Fatal("default rule not applied to the reverse link")
+		}
+	}
+}
+
+// TestJitterDelayRange: jitter verdicts carry a positive delay bounded
+// by the rule's Jitter.
+func TestJitterDelayRange(t *testing.T) {
+	max := 10 * time.Microsecond
+	p := New(Config{Seed: 3, Rule: Rule{Jitter: max, JitterP: 1}})
+	for i := 0; i < 100; i++ {
+		v := p.Judge(0, 1)
+		if v.Delay <= 0 || v.Delay > max {
+			t.Fatalf("jitter delay %v outside (0, %v]", v.Delay, max)
+		}
+	}
+}

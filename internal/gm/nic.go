@@ -19,6 +19,13 @@ type Stats struct {
 	TokenStallsNIC     uint64 // deliveries stalled for a receive token
 	MaxHostQueueDepth  int
 	CollectiveArrivals uint64
+
+	// Reliability counters (EnableReliability).
+	Retransmits    uint64 // data packets re-sent after a timeout
+	RelAcksSent    uint64 // standalone cumulative acks emitted
+	RelDupsDropped uint64 // duplicate / out-of-order arrivals discarded
+	RelOverflow    uint64 // sends past the retransmit-ring bound
+	RelPortErrors  uint64 // peers declared dead after the retry budget
 }
 
 // nicEvent multiplexes the two work sources of the LANai control program.
@@ -123,6 +130,12 @@ type NIC struct {
 	// sender draws from its NIC's pool, the consumer releases into its
 	// own NIC's pool (same kernel, so no synchronization is needed).
 	pfree []*Packet
+
+	// rel is the reliability engine (see reliability.go), nil unless
+	// EnableReliability was called; relErr records its first port
+	// error for cluster.Run to surface.
+	rel    *relState
+	relErr error
 
 	stats Stats
 }
@@ -230,14 +243,26 @@ func (n *NIC) step() {
 
 		case nicBusy:
 			if pkt := n.cur.send; pkt != nil {
+				// Under reliability, a host send's token stays held
+				// until the packet is acked (GM completes a send on
+				// guaranteed delivery); otherwise it recycles now.
+				hold := n.rel != nil && n.rel.sequence(pkt, true)
 				n.inject(pkt)
-				n.sendTokens++
-				n.tokenCond.Broadcast()
+				if !hold {
+					n.sendTokens++
+					n.tokenCond.Broadcast()
+				}
 				n.st = nicIdle
 				continue
 			}
 			pkt := n.cur.recv
 			n.stats.Received++
+			if n.rel != nil && !n.rel.accept(pkt) {
+				// Standalone ack, duplicate, or out-of-order arrival:
+				// swallowed (and recycled) by the reliability engine.
+				n.st = nicIdle
+				continue
+			}
 			if n.firmware != nil {
 				n.fw.reset()
 				n.fwIdx = 0
@@ -282,6 +307,9 @@ func (n *NIC) step() {
 					n.pushHost(act.pkt)
 				} else {
 					act.pkt.SrcNode = n.node
+					if n.rel != nil {
+						n.rel.sequence(act.pkt, false)
+					}
 					n.inject(act.pkt)
 				}
 			}

@@ -40,6 +40,11 @@ const (
 	// combines contributions, so these packets are consumed by NIC
 	// firmware and, except for final results, never reach the host.
 	NICCollective
+	// RelAck is a standalone cumulative acknowledgment of the
+	// reliability protocol (EnableReliability). It is unsequenced,
+	// consumed entirely inside the receiving NIC, and only sent when no
+	// reverse data traffic piggybacked the ack first.
+	RelAck
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -63,6 +68,8 @@ func (t PacketType) String() string {
 		return "collective-data"
 	case NICCollective:
 		return "nic-collective"
+	case RelAck:
+		return "rel-ack"
 	}
 	return "unknown"
 }
@@ -97,6 +104,15 @@ type Packet struct {
 	// element type to combine contributions in NIC memory.
 	AuxOp uint8
 	AuxDT uint8
+
+	// Reliability header (EnableReliability): per-link sequence number
+	// (0 = unsequenced), piggybacked cumulative ack, and how many
+	// retransmit rounds this copy has been through — nonzero Retries
+	// lets the MPI progress engine count messages the fabric made it
+	// wait for.
+	RelSeq  uint64
+	RelAck  uint64
+	Retries uint8
 
 	// Data is the payload as it sits in NIC / bounce-buffer memory.
 	Data []byte

@@ -1,0 +1,410 @@
+package gm
+
+import (
+	"fmt"
+	"time"
+
+	"abred/internal/fabric"
+	"abred/internal/sim"
+)
+
+// Reliability protocol — EnableReliability — in one page:
+//
+// GM's firmware guarantees in-order, exactly-once delivery per
+// (source, destination) pair; on a perfect fabric the simulator gets
+// that for free from the fabric's per-link FIFO. Under fault injection
+// (internal/fault) frames are dropped, duplicated and delayed, so the
+// NIC must earn the guarantee the way real GM does: at the NIC level,
+// invisible to MPICH.
+//
+//   - Every sequenced packet (all data types) carries RelSeq, a per-link
+//     sequence number starting at 1, and RelAck, a piggybacked cumulative
+//     ack for the reverse direction.
+//   - The receiver accepts only RelSeq == recvdTo+1 (go-back-N), which
+//     preserves the FIFO ordering MPICH-over-GM relies on; duplicates
+//     and out-of-order arrivals are discarded, recycled, and re-acked.
+//   - The sender keeps a deep copy of each unacked packet in a bounded
+//     per-link retransmit ring (the original is consumed — and pooled —
+//     by the receiver). A per-NIC callback daemon, woken by WakeAt
+//     deadlines, resends the whole window on timeout with exponential
+//     backoff; relMaxRounds unanswered rounds mark the port dead: the
+//     ring is released, the error is recorded for cluster.Run to
+//     surface, and the simulation stops instead of hanging the
+//     deadlock watchdog.
+//   - Acks are delayed relAckDelay so reverse data traffic piggybacks
+//     them for free; a standalone RelAck packet (unsequenced) goes out
+//     only when no reverse traffic materialized.
+//   - A host send's token is held until the packet is acked — GM's real
+//     semantics: the send callback fires on guaranteed delivery — so
+//     the token allotment doubles as the reliability window and keeps
+//     the ring under relRingCap.
+//
+// Loopback frames and local NIC.Deliver deposits never cross the lossy
+// switch and bypass the protocol entirely. All timer decisions run in
+// scheduler context on the daemon; no goroutines, no real time.
+const (
+	// relAckDelay batches cumulative acks: reverse data traffic inside
+	// the window piggybacks the ack for free.
+	relAckDelay = 30 * time.Microsecond
+	// relBaseRTO is the first retransmit timeout — far above the
+	// one-way small-packet latency plus relAckDelay, so a healthy link
+	// never spuriously retransmits.
+	relBaseRTO = 150 * time.Microsecond
+	// relMaxRTO caps the exponential backoff.
+	relMaxRTO = 2400 * time.Microsecond
+	// relMaxRounds of unanswered retransmission mark the port dead.
+	relMaxRounds = 8
+	// relRingCap bounds the per-link retransmit ring. Host sends stay
+	// under it via token flow control; RelOverflow counts (and the ring
+	// absorbs) firmware-generated bursts that exceed it.
+	relRingCap = 128
+)
+
+// relEntry is one unacked sequenced packet, deep-copied at send time:
+// the original travels the wire and is consumed (and recycled) by the
+// receiver, so retransmission must rebuild from an owned copy.
+type relEntry struct {
+	hdr   Packet // header copy; Data and owner stay nil
+	data  []byte // owned copy of the payload
+	token bool   // holds a send token until acked (host sends only)
+}
+
+// relLink is the reliability state for one peer, both directions.
+type relLink struct {
+	// Sender side.
+	nextSeq uint64      // last sequence number assigned
+	ring    []*relEntry // unacked packets, in sequence order
+	rtxAt   sim.Time    // retransmit deadline (0 = ring empty)
+	rto     sim.Time    // current timeout, backoff applied
+	rounds  int         // consecutive timeout rounds without progress
+
+	// Receiver side.
+	recvdTo  uint64   // highest in-order sequence received
+	sentAck  uint64   // cumulative ack last conveyed to the peer
+	ackAt    sim.Time // standalone-ack deadline (0 = none owed)
+	forceAck bool     // re-ack even without progress (duplicate seen)
+
+	active bool // link is in the daemon's active list
+}
+
+// deadline returns the link's earliest pending deadline, 0 if none.
+func (l *relLink) deadline() sim.Time {
+	switch {
+	case l.ackAt == 0:
+		return l.rtxAt
+	case l.rtxAt == 0:
+		return l.ackAt
+	case l.rtxAt < l.ackAt:
+		return l.rtxAt
+	}
+	return l.ackAt
+}
+
+// relState is one NIC's reliability engine: per-peer link state plus
+// the timer daemon that drives delayed acks and retransmissions.
+type relState struct {
+	n      *NIC
+	d      *sim.Daemon
+	links  []relLink
+	active []int // peers with a pending deadline
+	efree  []*relEntry
+}
+
+// EnableReliability switches the NIC to reliable delivery (see the
+// protocol comment above). Call it before any traffic flows; it is
+// idempotent. Fault-injected fabrics require it on every NIC — without
+// it a dropped frame hangs the collective and a duplicated frame
+// corrupts the packet pools.
+func (n *NIC) EnableReliability() {
+	if n.rel != nil {
+		return
+	}
+	r := &relState{n: n, links: make([]relLink, n.fab.Nodes())}
+	r.d = n.k.NewDaemon(fmt.Sprintf("gmrel%d", n.node), r.step)
+	r.d.SetStatus("rel timers")
+	n.rel = r
+}
+
+// ReliabilityEnabled reports whether EnableReliability was called.
+func (n *NIC) ReliabilityEnabled() bool { return n.rel != nil }
+
+// RelError returns the first port error recorded by the reliability
+// engine (a peer that never acked through the full retry budget), nil
+// if delivery is healthy.
+func (n *NIC) RelError() error { return n.relErr }
+
+// activate puts the link on the daemon's scan list and pulls the timer
+// to its deadline.
+func (r *relState) activate(peer int, l *relLink, at sim.Time) {
+	if !l.active {
+		l.active = true
+		r.active = append(r.active, peer)
+	}
+	r.d.WakeAt(at)
+}
+
+// sequence stamps pkt with the next per-link sequence number and the
+// freshest cumulative ack for its destination, and records an owned
+// copy in the retransmit ring. It reports whether the packet's send
+// token (held only by host sends) must be retained until the ack
+// arrives. Loopback packets bypass the protocol.
+func (r *relState) sequence(pkt *Packet, fromHost bool) bool {
+	if pkt.DstNode == r.n.node {
+		return false
+	}
+	l := &r.links[pkt.DstNode]
+	l.nextSeq++
+	pkt.RelSeq = l.nextSeq
+	pkt.RelAck = l.recvdTo
+	l.sentAck = l.recvdTo
+	l.ackAt = 0
+	l.forceAck = false
+
+	e := r.getEntry()
+	e.hdr = *pkt
+	e.hdr.Data = nil
+	e.hdr.owner = nil
+	e.data = append(e.data[:0], pkt.Data...)
+	e.token = fromHost
+	if len(l.ring) >= relRingCap {
+		r.n.stats.RelOverflow++
+	}
+	l.ring = append(l.ring, e)
+	if l.rtxAt == 0 {
+		l.rto = relBaseRTO
+		l.rtxAt = r.n.k.Now() + l.rto
+		r.activate(pkt.DstNode, l, l.rtxAt)
+	}
+	return fromHost
+}
+
+// accept runs in the control program's receive path. It reports whether
+// pkt should continue to the firmware/host; packets it swallows
+// (standalone acks, duplicates, out-of-order arrivals) are recycled
+// here and never charge host-side costs.
+func (r *relState) accept(pkt *Packet) bool {
+	if pkt.SrcNode == r.n.node {
+		return true // loopback or local Deliver: never sequenced
+	}
+	l := &r.links[pkt.SrcNode]
+	r.onAck(pkt.SrcNode, l, pkt.RelAck)
+	if pkt.Type == RelAck {
+		r.n.PutPacket(pkt)
+		return false
+	}
+	if pkt.RelSeq == 0 {
+		return true // unsequenced peer (reliability off there)
+	}
+	if pkt.RelSeq != l.recvdTo+1 {
+		// Duplicate or out-of-order. Discard, and re-ack even without
+		// progress: the peer may be retransmitting into a lost-ack
+		// hole, and only a fresh cumulative ack stops it.
+		r.n.stats.RelDupsDropped++
+		l.forceAck = true
+		if l.ackAt == 0 {
+			l.ackAt = r.n.k.Now() + relAckDelay
+			r.activate(pkt.SrcNode, l, l.ackAt)
+		}
+		r.n.PutPacket(pkt)
+		return false
+	}
+	l.recvdTo++
+	if l.ackAt == 0 {
+		l.ackAt = r.n.k.Now() + relAckDelay
+		r.activate(pkt.SrcNode, l, l.ackAt)
+	}
+	return true
+}
+
+// onAck releases ring entries covered by a cumulative ack and resets
+// the backoff state when the ack made progress.
+func (r *relState) onAck(peer int, l *relLink, ackTo uint64) {
+	if len(l.ring) == 0 || ackTo < l.ring[0].hdr.RelSeq {
+		return
+	}
+	k := 0
+	for k < len(l.ring) && l.ring[k].hdr.RelSeq <= ackTo {
+		e := l.ring[k]
+		if e.token {
+			r.n.sendTokens++
+		}
+		r.putEntry(e)
+		k++
+	}
+	r.n.tokenCond.Broadcast()
+	m := copy(l.ring, l.ring[k:])
+	for i := m; i < len(l.ring); i++ {
+		l.ring[i] = nil
+	}
+	l.ring = l.ring[:m]
+	l.rounds = 0
+	l.rto = relBaseRTO
+	if len(l.ring) == 0 {
+		l.rtxAt = 0
+	} else {
+		l.rtxAt = r.n.k.Now() + l.rto
+		r.activate(peer, l, l.rtxAt)
+	}
+}
+
+// step is the timer daemon: fire due acks and retransmissions, drop
+// idle links from the scan list, re-arm for the earliest remaining
+// deadline.
+func (r *relState) step() {
+	now := r.n.k.Now()
+	var next sim.Time
+	for i := 0; i < len(r.active); {
+		peer := r.active[i]
+		l := &r.links[peer]
+		if l.ackAt != 0 && l.ackAt <= now {
+			r.sendAck(peer, l)
+		}
+		if l.rtxAt != 0 && l.rtxAt <= now {
+			if !r.retransmit(peer, l) {
+				return // port error; simulation is stopping
+			}
+		}
+		d := l.deadline()
+		if d == 0 {
+			l.active = false
+			last := len(r.active) - 1
+			r.active[i] = r.active[last]
+			r.active = r.active[:last]
+			continue
+		}
+		if next == 0 || d < next {
+			next = d
+		}
+		i++
+	}
+	if next != 0 {
+		r.d.WakeAt(next)
+	}
+}
+
+// sendAck emits a standalone cumulative ack if reverse traffic did not
+// piggyback one inside the delay window.
+func (r *relState) sendAck(peer int, l *relLink) {
+	l.ackAt = 0
+	if l.sentAck == l.recvdTo && !l.forceAck {
+		return
+	}
+	l.sentAck = l.recvdTo
+	l.forceAck = false
+	pkt := r.n.GetPacket(0)
+	pkt.Type = RelAck
+	pkt.SrcNode = r.n.node
+	pkt.DstNode = peer
+	pkt.RelAck = l.recvdTo
+	r.n.stats.RelAcksSent++
+	r.n.inject(pkt)
+}
+
+// retransmit resends every unacked packet on the link — go-back-N: the
+// receiver discards anything out of order, so the whole window must
+// travel again — and doubles the timeout. It reports false when the
+// link exhausted its retry budget and the port error stopped the run.
+func (r *relState) retransmit(peer int, l *relLink) bool {
+	if len(l.ring) == 0 {
+		l.rtxAt = 0
+		return true
+	}
+	l.rounds++
+	if l.rounds > relMaxRounds {
+		r.portError(peer, l)
+		return false
+	}
+	for _, e := range l.ring {
+		pkt := r.n.GetPacket(len(e.data))
+		data, owner := pkt.Data, pkt.owner
+		*pkt = e.hdr
+		pkt.Data, pkt.owner = data, owner
+		copy(pkt.Data, e.data)
+		pkt.Retries = uint8(l.rounds)
+		pkt.RelAck = l.recvdTo
+		r.n.stats.Retransmits++
+		r.n.inject(pkt)
+	}
+	// The resent window piggybacked the freshest ack.
+	l.sentAck = l.recvdTo
+	l.ackAt = 0
+	l.forceAck = false
+	l.rto *= 2
+	if l.rto > relMaxRTO {
+		l.rto = relMaxRTO
+	}
+	l.rtxAt = r.n.k.Now() + l.rto
+	return true
+}
+
+// portError gives up on a peer: record the first error for
+// cluster.Run to surface, release the stranded ring (and its send
+// tokens, so parked senders can observe the stop), and halt the
+// simulation instead of spinning the backoff forever.
+func (r *relState) portError(peer int, l *relLink) {
+	r.n.stats.RelPortErrors++
+	if r.n.relErr == nil {
+		r.n.relErr = fmt.Errorf(
+			"gm: node %d port to node %d dead: no ack after %d retransmit rounds (%d packets stranded)",
+			r.n.node, peer, relMaxRounds, len(l.ring))
+	}
+	for i, e := range l.ring {
+		if e.token {
+			r.n.sendTokens++
+		}
+		r.putEntry(e)
+		l.ring[i] = nil
+	}
+	l.ring = l.ring[:0]
+	l.rtxAt = 0
+	r.n.tokenCond.Broadcast()
+	r.n.k.Stop()
+}
+
+// getEntry / putEntry recycle ring entries and their payload buffers.
+func (r *relState) getEntry() *relEntry {
+	if n := len(r.efree); n > 0 {
+		e := r.efree[n-1]
+		r.efree[n-1] = nil
+		r.efree = r.efree[:n-1]
+		return e
+	}
+	return &relEntry{}
+}
+
+func (r *relState) putEntry(e *relEntry) {
+	e.hdr = Packet{}
+	e.token = false
+	r.efree = append(r.efree, e)
+}
+
+// FaultHooks returns the fabric hooks a fault-injected cluster must
+// install: OnDrop recycles pooled packets the injector discards (they
+// never reach a sink, so nothing else will), and ClonePayload
+// deep-copies packets for duplicated frames — a shared pointer would
+// corrupt the pools the moment the first copy is consumed and recycled.
+func FaultHooks() (onDrop func(fabric.Frame), clone func(any) any) {
+	onDrop = func(fr fabric.Frame) {
+		if pkt, ok := fr.Payload.(*Packet); ok && pkt.owner != nil {
+			pkt.owner.PutPacket(pkt)
+		}
+	}
+	clone = func(payload any) any {
+		pkt, ok := payload.(*Packet)
+		if !ok {
+			return payload
+		}
+		var c *Packet
+		if pkt.owner != nil {
+			c = pkt.owner.GetPacket(len(pkt.Data))
+		} else {
+			c = &Packet{Data: make([]byte, len(pkt.Data))}
+		}
+		data, owner := c.Data, c.owner
+		*c = *pkt
+		c.Data, c.owner = data, owner
+		copy(c.Data, pkt.Data)
+		return c
+	}
+	return onDrop, clone
+}

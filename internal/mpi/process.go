@@ -30,6 +30,7 @@ type ProcStats struct {
 	HostCopiedBytes uint64
 	SignalsRun      uint64 // signal handlers that found work
 	SignalsIgnored  uint64 // signal handlers that found progress already done
+	RetriedMsgs     uint64 // packets that needed GM-level retransmission
 	PollBusy        sim.Time
 }
 

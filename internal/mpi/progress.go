@@ -67,6 +67,13 @@ func (pr *Process) ProgressFor(d sim.Time) bool {
 func (pr *Process) handlePacket(pkt *gm.Packet) {
 	pr.nic.ReturnRecvToken()    // the packet's host buffer recycles here
 	pr.P.Spin(pr.CM.PollIter()) // dequeue + dispatch cost
+	if pkt.Retries > 0 {
+		// The fabric lost (at least) the first copy; GM's reliability
+		// layer resent it. The progress engine counts these so the
+		// loss experiments can report how often a collective stalled
+		// on a retransmission rather than on computation skew.
+		pr.Stats.RetriedMsgs++
+	}
 	if pkt.IsCollective() && pr.nic.ConsumePendingSignal() {
 		// The NIC raised a signal for this packet but progress got here
 		// first. The kernel trap still interrupted the host (§V-C: the

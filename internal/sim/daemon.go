@@ -27,8 +27,11 @@ type Daemon struct {
 
 	// scheduled is true while a step event (wake or sleep) is pending;
 	// it coalesces Wakes and keeps the daemon single-threaded in
-	// virtual time.
+	// virtual time. at/ref describe the pending event so WakeAt can
+	// pull it earlier.
 	scheduled bool
+	at        Time
+	ref       evref
 
 	// status names what an idle daemon is waiting on; it appears in
 	// deadlock reports, replacing the park reason a goroutine-based
@@ -69,8 +72,25 @@ func (d *Daemon) Wake() {
 	if d.scheduled {
 		return
 	}
-	d.scheduled = true
-	d.k.scheduleRunner(d.k.now, d)
+	d.arm(d.k.now)
+}
+
+// WakeAt schedules the next step at time t (clamped to now), for
+// deadline-driven daemons (retransmit timers above all). Unlike Wake it
+// is not absorbed by a pending later step: if one is scheduled after t
+// it is pulled earlier, so the earliest requested deadline always wins.
+// A pending step at or before t is left alone.
+func (d *Daemon) WakeAt(t Time) {
+	if t < d.k.now {
+		t = d.k.now
+	}
+	if d.scheduled {
+		if d.at <= t {
+			return
+		}
+		d.k.cancel(d.ref)
+	}
+	d.arm(t)
 }
 
 // Sleep schedules the next step at now+dt, modeling time the daemon
@@ -80,8 +100,14 @@ func (d *Daemon) Sleep(dt Time) {
 	if d.scheduled {
 		panic("sim: Daemon.Sleep with a step already pending")
 	}
+	d.arm(d.k.now + dt)
+}
+
+// arm schedules the step event at t, recording it for WakeAt.
+func (d *Daemon) arm(t Time) {
 	d.scheduled = true
-	d.k.scheduleRunner(d.k.now+dt, d)
+	d.at = t
+	d.ref = d.k.scheduleRunner(t, d)
 }
 
 // RunEvent drives one step; the kernel invokes it when the daemon's

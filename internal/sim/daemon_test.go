@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDaemonWakeAtEarlierWins: a WakeAt before a pending later step must
+// pull the step in; the cancelled later event must not fire a second
+// step.
+func TestDaemonWakeAtEarlierWins(t *testing.T) {
+	k := New(1)
+	var fired []Time
+	var d *Daemon
+	d = k.NewDaemon("timer", func() { fired = append(fired, d.Now()) })
+	k.Spawn("app", func(p *Proc) {
+		d.WakeAt(50 * time.Microsecond)
+		d.WakeAt(20 * time.Microsecond)
+		p.Sleep(100 * time.Microsecond)
+	})
+	k.Run()
+	if len(fired) != 1 || fired[0] != 20*time.Microsecond {
+		t.Errorf("fired = %v, want one step at 20µs", fired)
+	}
+}
+
+// TestDaemonWakeAtLaterAbsorbed: a WakeAt after a pending earlier step
+// is a no-op — the earliest requested deadline stands.
+func TestDaemonWakeAtLaterAbsorbed(t *testing.T) {
+	k := New(1)
+	var fired []Time
+	var d *Daemon
+	d = k.NewDaemon("timer", func() { fired = append(fired, d.Now()) })
+	k.Spawn("app", func(p *Proc) {
+		d.WakeAt(20 * time.Microsecond)
+		d.WakeAt(50 * time.Microsecond)
+		p.Sleep(100 * time.Microsecond)
+	})
+	k.Run()
+	if len(fired) != 1 || fired[0] != 20*time.Microsecond {
+		t.Errorf("fired = %v, want one step at 20µs", fired)
+	}
+}
+
+// TestDaemonWakeAtPastClampsToNow: deadlines in the past run at the
+// current tick rather than panicking or going backwards.
+func TestDaemonWakeAtPastClampsToNow(t *testing.T) {
+	k := New(1)
+	var fired []Time
+	var d *Daemon
+	d = k.NewDaemon("timer", func() { fired = append(fired, d.Now()) })
+	k.Spawn("app", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+		d.WakeAt(5 * time.Microsecond)
+		p.Sleep(10 * time.Microsecond)
+	})
+	k.Run()
+	if len(fired) != 1 || fired[0] != 10*time.Microsecond {
+		t.Errorf("fired = %v, want one step at 10µs", fired)
+	}
+}
+
+// TestDaemonWakeAbsorbedWhilePending: plain Wake keeps its original
+// coalescing contract — it never pulls a pending step earlier, so code
+// relying on Wake's exact timing is unaffected by the WakeAt addition.
+func TestDaemonWakeAbsorbedWhilePending(t *testing.T) {
+	k := New(1)
+	var fired []Time
+	var d *Daemon
+	d = k.NewDaemon("timer", func() { fired = append(fired, d.Now()) })
+	k.Spawn("app", func(p *Proc) {
+		d.WakeAt(30 * time.Microsecond)
+		d.Wake() // absorbed: the pending 30µs step stands
+		p.Sleep(100 * time.Microsecond)
+	})
+	k.Run()
+	if len(fired) != 1 || fired[0] != 30*time.Microsecond {
+		t.Errorf("fired = %v, want one step at 30µs", fired)
+	}
+}
+
+// TestDaemonWakeAtRearmsAcrossSteps: a deadline-driven daemon re-arming
+// itself from inside its step sees each deadline exactly once.
+func TestDaemonWakeAtRearmsAcrossSteps(t *testing.T) {
+	k := New(1)
+	var fired []Time
+	var d *Daemon
+	d = k.NewDaemon("timer", func() {
+		fired = append(fired, d.Now())
+		if len(fired) < 3 {
+			d.WakeAt(d.Now() + 10*time.Microsecond)
+		}
+	})
+	k.Spawn("app", func(p *Proc) {
+		d.WakeAt(10 * time.Microsecond)
+		p.Sleep(100 * time.Microsecond)
+	})
+	k.Run()
+	want := []Time{10 * time.Microsecond, 20 * time.Microsecond, 30 * time.Microsecond}
+	if len(fired) != 3 || fired[0] != want[0] || fired[1] != want[1] || fired[2] != want[2] {
+		t.Errorf("fired = %v, want %v", fired, want)
+	}
+}

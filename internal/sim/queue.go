@@ -157,6 +157,16 @@ func (q *Queue[T]) Get(p *Proc) T {
 
 // GetTimeout is like Get but gives up after d, returning ok=false. A
 // timeout consumes exactly d of virtual time.
+//
+// Same-tick audit: when a Put lands on the same virtual tick as the
+// timeout event, p resumes exactly once whichever fires first. Timeout
+// first: it tombstones p's waiter slot (wakeOne skips tombstones, so
+// the Put's wake passes to the next live waiter) and its wakeAt is
+// idempotent against any already-pending resume. Put first: wakeOne
+// dequeues p, the late timeout's removeWaiter is a position-checked
+// no-op and its wakeAt is absorbed. Either way p re-checks TryGet
+// before reporting the timeout, so an item landing on the deadline is
+// delivered, never lost.
 func (q *Queue[T]) GetTimeout(p *Proc, d Time) (T, bool) {
 	var zero T
 	deadline := p.k.now + d

@@ -127,6 +127,37 @@ func TestQueueTimeoutVsPutRace(t *testing.T) {
 	k.Run()
 }
 
+// TestQueueTimeoutSameTickSingleDelivery: a timeout and a Put landing
+// on the same virtual tick, with a second waiter parked behind the
+// timed-out one, must deliver the item exactly once — either to the
+// timed waiter (its wake won the tick) or to the patient one (the
+// timeout won, and its tombstoned waiter slot must not eat the wake).
+func TestQueueTimeoutSameTickSingleDelivery(t *testing.T) {
+	k := New(1)
+	q := NewQueue[int]("q")
+	timedGot, patientGot := -1, -1
+	k.Spawn("timed", func(p *Proc) {
+		if v, ok := q.GetTimeout(p, 5*time.Microsecond); ok {
+			timedGot = v
+		}
+	})
+	k.Spawn("patient", func(p *Proc) {
+		p.Sleep(time.Microsecond) // park behind "timed" in the waiter ring
+		if v, ok := q.GetTimeout(p, time.Millisecond); ok {
+			patientGot = v
+		}
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Sleep(5 * time.Microsecond) // exactly at timed's deadline
+		q.Put(7)
+	})
+	k.Run()
+	if (timedGot == 7) == (patientGot == 7) {
+		t.Errorf("item delivered %d/%d times (timed=%d patient=%d), want exactly once",
+			timedGot, patientGot, timedGot, patientGot)
+	}
+}
+
 func TestCondWaitTimeout(t *testing.T) {
 	k := New(1)
 	c := NewCond("c")

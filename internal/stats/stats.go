@@ -23,8 +23,12 @@ func Summarize(xs []time.Duration) Summary {
 		return Summary{}
 	}
 	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
-	var sum, sumSq float64
-	for _, x := range xs {
+	// Welford's one-pass recurrence: the textbook E[x²]−E[x]² form
+	// cancels catastrophically when the mean dwarfs the spread (sample
+	// timestamps near 1e13 ns with ~10 ns of jitter lose every
+	// significant digit of the variance to the subtraction).
+	var mean, m2 float64
+	for i, x := range xs {
 		if x < s.Min {
 			s.Min = x
 		}
@@ -32,12 +36,12 @@ func Summarize(xs []time.Duration) Summary {
 			s.Max = x
 		}
 		f := float64(x)
-		sum += f
-		sumSq += f * f
+		d := f - mean
+		mean += d / float64(i+1)
+		m2 += d * (f - mean)
 	}
-	mean := sum / float64(len(xs))
 	s.Mean = time.Duration(mean)
-	variance := sumSq/float64(len(xs)) - mean*mean
+	variance := m2 / float64(len(xs))
 	if variance > 0 {
 		s.Std = time.Duration(math.Sqrt(variance))
 	}

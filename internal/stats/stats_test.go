@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -66,6 +67,22 @@ func TestStdDev(t *testing.T) {
 	s := Summarize([]time.Duration{2, 4, 4, 4, 5, 5, 7, 9})
 	if s.Std != 2 {
 		t.Errorf("std = %v, want 2", s.Std)
+	}
+}
+
+// TestStdLargeMean pins the Welford variance against catastrophic
+// cancellation: a sample whose mean (~1e13 ns, a typical virtual
+// timestamp) dwarfs its spread (~10 ns) loses every significant digit
+// of the variance to the E[x²]−E[x]² subtraction in float64.
+func TestStdLargeMean(t *testing.T) {
+	base := time.Duration(1e13)
+	s := Summarize([]time.Duration{base - 10, base, base + 10})
+	want := math.Sqrt(200.0 / 3.0) // population std of {-10, 0, +10}
+	if got := float64(s.Std); math.Abs(got-want) > 0.5 {
+		t.Errorf("Std = %v ns, want ≈%.2f ns", got, want)
+	}
+	if s.Mean != base {
+		t.Errorf("Mean = %v, want %v", s.Mean, base)
 	}
 }
 

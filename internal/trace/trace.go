@@ -98,6 +98,12 @@ func (r *Recorder) Render(w io.Writer, nodes, width int) {
 			continue
 		}
 		b0 := int(float64(s.Start-minT) / span * float64(width))
+		if b0 >= width {
+			// A zero-length span starting exactly at maxT lands one past
+			// the last bucket; draw it in the final column instead of
+			// silently vanishing.
+			b0 = width - 1
+		}
 		b1 := int(float64(s.End-minT) / span * float64(width))
 		if b1 <= b0 {
 			b1 = b0 + 1

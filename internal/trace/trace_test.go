@@ -68,6 +68,21 @@ func TestRenderIgnoresOutOfRangeNodes(t *testing.T) {
 	}
 }
 
+// TestZeroLengthSpanAtMaxTStillVisible: an instantaneous span starting
+// exactly at the recorded interval's end maps one past the last bucket;
+// it must render in the final column, not silently vanish.
+func TestZeroLengthSpanAtMaxTStillVisible(t *testing.T) {
+	r := &Recorder{}
+	r.Add(0, KindCompute, 0, 100*us, "")
+	r.Add(0, KindAsync, 100*us, 100*us, "") // instantaneous, at maxT
+	var b strings.Builder
+	r.Render(&b, 1, 20)
+	row := strings.Split(b.String(), "\n")[1]
+	if !strings.HasSuffix(row, "A|") {
+		t.Errorf("span at maxT not drawn in the final column: %q", row)
+	}
+}
+
 func TestZeroLengthSpanStillVisible(t *testing.T) {
 	r := &Recorder{}
 	r.Add(0, KindCompute, 0, 100*us, "")

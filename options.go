@@ -3,6 +3,7 @@ package abred
 import (
 	"time"
 
+	"abred/internal/fault"
 	"abred/internal/model"
 )
 
@@ -11,6 +12,7 @@ type config struct {
 	specs []model.NodeSpec
 	costs model.Costs
 	seed  int64
+	fault fault.Config
 }
 
 // Option configures NewCluster.
@@ -59,6 +61,29 @@ func WithEagerThreshold(bytes int) Option {
 		c.ensureCosts()
 		c.costs.EagerThreshold = bytes
 	}
+}
+
+// WithLoss makes the fabric drop each frame with probability p,
+// switching every NIC to GM-level reliable delivery (sequence numbers,
+// cumulative acks, timed retransmission). Drop decisions come from a
+// dedicated stream seeded by WithFault/WithFaultSeed — independent of
+// the simulation seed, so the same loss pattern can be replayed across
+// different skew seeds.
+func WithLoss(p float64) Option {
+	return func(c *config) { c.fault.Drop = p }
+}
+
+// WithFaultSeed seeds the fault-decision stream (default 0). Two runs
+// with the same fault seed and cluster shape drop identical frames.
+func WithFaultSeed(seed int64) Option {
+	return func(c *config) { c.fault.Seed = seed }
+}
+
+// WithFault supplies a full fault plan — per-link rules, duplication,
+// reorder jitter, scripted drops — for tests and studies that need more
+// than a uniform loss rate.
+func WithFault(cfg FaultConfig) Option {
+	return func(c *config) { c.fault = cfg }
 }
 
 func (c *config) ensureCosts() {
