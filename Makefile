@@ -15,13 +15,23 @@ test:
 
 # Regenerate every figure on a full worker pool and record the sweep's
 # execution metrics (wall-clock, speedup, events/sec) in BENCH_sweep.json,
-# then run the large-scale projection out to 1024 nodes and record kernel
-# performance (events/sec, allocs/event, microbenchmark vs. the recorded
-# pre-overhaul baseline) in BENCH_kernel.json.
+# then run the large-scale projection — the standard 32–1024 grid plus
+# the 2048–16384 scaling envelope — and record kernel performance
+# (events/sec, allocs/event, peak heap, microbenchmark and sweep numbers
+# vs. the recorded pre-overhaul baselines) in BENCH_kernel.json. Both
+# commands draw clusters from the reuse pool (-reuse, on by default).
 .PHONY: bench
 bench:
 	go run ./cmd/abbench -fig all -ablations -parallel 0 -sweepjson BENCH_sweep.json
 	go run ./cmd/abscale -sizes 32,128,512,1024 -iters 100 -parallel 0 -csv -benchjson BENCH_kernel.json
+
+# Profile the scaling sweep: CPU and heap profiles of the standard grid,
+# ready for `go tool pprof abscale.cpu.pprof`.
+.PHONY: profile
+profile:
+	go run ./cmd/abscale -sizes 32,128,512,1024 -iters 100 -bigsizes "" \
+		-cpuprofile abscale.cpu.pprof -memprofile abscale.mem.pprof
+	@echo "wrote abscale.cpu.pprof and abscale.mem.pprof"
 
 # The kernel throughput benchmark alone (Go benchmark form).
 .PHONY: bench-kernel

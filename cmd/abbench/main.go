@@ -5,7 +5,8 @@
 // Usage:
 //
 //	abbench [-fig 6|7|8|9|10|loss|all] [-ablations] [-iters N] [-seed N]
-//	        [-loss P] [-faultseed N] [-parallel N] [-csv] [-sweepjson FILE]
+//	        [-loss P] [-faultseed N] [-parallel N] [-reuse=bool]
+//	        [-cpuprofile FILE] [-memprofile FILE] [-csv] [-sweepjson FILE]
 //
 // Each figure prints as an aligned table; -csv switches to CSV for
 // plotting. Every figure is a grid of independent simulations, so
@@ -22,6 +23,12 @@
 // fault stream (same seed, same drops — independent of -seed). -fig
 // loss runs the ab-vs-nab loss sweep over the paper's 0.1–5% range
 // instead of a uniform rate.
+//
+// -reuse (on by default) draws simulated clusters from a reuse pool
+// instead of rebuilding one per grid cell; printed tables are
+// byte-identical either way (the reuse determinism tests enforce it),
+// only wall clock and allocations change. -cpuprofile/-memprofile write
+// standard pprof profiles of the whole run.
 package main
 
 import (
@@ -32,7 +39,9 @@ import (
 	"time"
 
 	"abred/internal/bench"
+	"abred/internal/cluster"
 	"abred/internal/fault"
+	"abred/internal/prof"
 	"abred/internal/sweep"
 )
 
@@ -69,6 +78,9 @@ func main() {
 	loss := flag.Float64("loss", 0, "frame-drop probability on every link (enables GM reliable delivery)")
 	faultSeed := flag.Int64("faultseed", 0, "seed of the dedicated fault-decision stream")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	reuse := flag.Bool("reuse", true, "reuse built clusters across grid cells (pool + Reset)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	sweepJSON := flag.String("sweepjson", "BENCH_sweep.json", "write per-figure sweep metrics here (empty to disable)")
 	flag.Parse()
@@ -77,7 +89,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	o := bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel,
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
+	var pool *cluster.Pool
+	if *reuse {
+		pool = cluster.NewPool()
+		defer pool.Drain()
+	}
+
+	o := bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel, Pool: pool,
 		Fault: fault.Config{Seed: *faultSeed, Rule: fault.Rule{Drop: *loss}}}
 
 	var entries []sweepEntry
@@ -121,7 +146,7 @@ func main() {
 		// The sweep sets its own per-row loss rates; -loss would apply a
 		// second uniform rate on top, so it is ignored here.
 		emit(bench.LossSweep(bench.PaperLossRates(), *faultSeed,
-			bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel}))
+			bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel, Pool: pool}))
 		ran++
 	}
 	if ran == 0 {
@@ -134,7 +159,7 @@ func main() {
 		emit(bench.AblationNICReduce(32, 500*time.Microsecond, o))
 		emit(bench.AblationSignalCost(32, 4, 500*time.Microsecond, o))
 		emit(bench.AblationHeterogeneity(32, 4, o))
-		emit(bench.AblationRendezvousAB(16, 800*time.Microsecond, bench.Opts{Iters: *iters/4 + 1, Seed: *seed, Workers: *parallel}))
+		emit(bench.AblationRendezvousAB(16, 800*time.Microsecond, bench.Opts{Iters: *iters/4 + 1, Seed: *seed, Workers: *parallel, Pool: pool}))
 	}
 
 	if *sweepJSON != "" {

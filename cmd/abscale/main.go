@@ -3,20 +3,28 @@
 // performance of application-bypass operations on large-scale
 // clusters"). It replicates the paper's interlaced heterogeneous node
 // mix out to the requested sizes and reports average per-node CPU
-// utilization for both implementations, skewed and unskewed.
+// utilization for both implementations, skewed and unskewed. A second,
+// large-N grid (default 2048–16384 nodes at reduced iterations) probes
+// the scaling envelope the cluster-reuse and slab-allocation fast path
+// makes practical on one machine.
 //
 // Usage:
 //
 //	abscale [-max N | -sizes 32,128,512,1024] [-count N] [-iters N]
+//	        [-bigsizes 2048,4096,8192,16384] [-bigiters N] [-reuse=bool]
 //	        [-seed N] [-skew D] [-loss P] [-faultseed N] [-parallel N]
-//	        [-csv] [-benchjson FILE]
+//	        [-cpuprofile FILE] [-memprofile FILE] [-csv] [-benchjson FILE]
 //
 // -sizes names the node counts directly, overriding the -max doubling
-// grid. -loss P drops each frame with probability P (switching GM to
-// reliable delivery); -faultseed seeds the dedicated fault stream. -benchjson records the kernel's execution metrics — events/sec
-// and allocs/event for each sweep, plus the fixed 32-node kernel
-// microbenchmark against its recorded pre-overhaul baseline — to FILE
-// (the committed BENCH_kernel.json is produced this way via make bench).
+// grid; -bigsizes "" skips the large-N grid. -reuse=false rebuilds every
+// cluster from scratch instead of drawing from the reuse pool (results
+// are byte-identical either way; only wall clock and allocations move).
+// -loss P drops each frame with probability P (switching GM to reliable
+// delivery); -faultseed seeds the dedicated fault stream. -benchjson
+// records the kernel's execution metrics — events/sec, allocs/event and
+// peak heap for each sweep, plus the fixed 32-node kernel microbenchmark
+// and the standard grid's pre-reuse baseline — to FILE (the committed
+// BENCH_kernel.json is produced this way via make bench).
 package main
 
 import (
@@ -29,13 +37,18 @@ import (
 	"time"
 
 	"abred/internal/bench"
+	"abred/internal/cluster"
 	"abred/internal/fault"
+	"abred/internal/prof"
 	"abred/internal/sweep"
 )
 
 // perfEntry is one sweep's execution record in -benchjson output.
 type perfEntry struct {
 	Sweep          string  `json:"sweep"`
+	Sizes          []int   `json:"sizes"`
+	Iters          int     `json:"iters"`
+	Reuse          bool    `json:"reuse"`
 	Jobs           int     `json:"jobs"`
 	Workers        int     `json:"workers"`
 	WallMS         float64 `json:"wall_ms"`
@@ -43,11 +56,15 @@ type perfEntry struct {
 	EventsPerSec   float64 `json:"events_per_sec"`
 	Allocs         uint64  `json:"allocs"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+	HeapPeak       uint64  `json:"heap_peak_bytes"`
 }
 
-func entry(name string, p sweep.Perf) perfEntry {
+func entry(name string, sizes []int, iters int, reuse bool, p sweep.Perf) perfEntry {
 	return perfEntry{
 		Sweep:          name,
+		Sizes:          sizes,
+		Iters:          iters,
+		Reuse:          reuse,
 		Jobs:           p.Jobs,
 		Workers:        p.Workers,
 		WallMS:         float64(p.Wall) / float64(time.Millisecond),
@@ -55,7 +72,25 @@ func entry(name string, p sweep.Perf) perfEntry {
 		EventsPerSec:   p.EventsPerSec(),
 		Allocs:         p.Allocs,
 		AllocsPerEvent: p.AllocsPerEvent(),
+		HeapPeak:       p.HeapPeak,
 	}
+}
+
+// parseSizes parses a comma-separated node-count list ("" = empty).
+func parseSizes(flagName, v string) []int {
+	var sizes []int
+	if v == "" {
+		return nil
+	}
+	for _, f := range strings.Split(v, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "abscale: bad %s entry %q\n", flagName, f)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes
 }
 
 func main() {
@@ -63,26 +98,29 @@ func main() {
 	sizesFlag := flag.String("sizes", "", "comma-separated node counts (overrides -max)")
 	count := flag.Int("count", 4, "message elements (double words)")
 	iters := flag.Int("iters", 100, "iterations per data point")
+	bigSizes := flag.String("bigsizes", "2048,4096,8192,16384", "large-N grid node counts (\"\" skips it)")
+	bigIters := flag.Int("bigiters", 12, "iterations per large-N data point")
+	reuse := flag.Bool("reuse", true, "reuse built clusters across grid cells (pool + Reset)")
 	seed := flag.Int64("seed", 20030701, "simulation seed")
 	skew := flag.Duration("skew", time.Millisecond, "maximum skew for the skewed sweep")
 	loss := flag.Float64("loss", 0, "frame-drop probability on every link (enables GM reliable delivery)")
 	faultSeed := flag.Int64("faultseed", 0, "seed of the dedicated fault-decision stream")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	csv := flag.Bool("csv", false, "emit CSV")
 	benchJSON := flag.String("benchjson", "", "write kernel performance metrics here (empty to disable)")
 	flag.Parse()
 
-	var sizes []int
-	if *sizesFlag != "" {
-		for _, f := range strings.Split(*sizesFlag, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || n < 2 {
-				fmt.Fprintf(os.Stderr, "abscale: bad -sizes entry %q\n", f)
-				os.Exit(2)
-			}
-			sizes = append(sizes, n)
-		}
-	} else {
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abscale: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
+	sizes := parseSizes("-sizes", *sizesFlag)
+	if sizes == nil {
 		for n := 8; n <= *max; n *= 2 {
 			sizes = append(sizes, n)
 		}
@@ -92,46 +130,71 @@ func main() {
 		os.Exit(2)
 	}
 
+	var pool *cluster.Pool
+	if *reuse {
+		pool = cluster.NewPool()
+		defer pool.Drain()
+	}
+
 	var entries []perfEntry
-	for _, s := range []struct {
-		skew time.Duration
-		note string
-	}{
-		{*skew, "skewed"},
-		{0, "no artificial skew"},
-	} {
-		t := bench.ScaleProjection(sizes, s.skew, *count,
-			bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel,
-				Fault: fault.Config{Seed: *faultSeed, Rule: fault.Rule{Drop: *loss}}})
-		t.Title = fmt.Sprintf("%s (%s, max skew %v, %d elements)", t.Title, s.note, s.skew, *count)
-		if *csv {
-			t.WriteCSV(os.Stdout)
-			fmt.Println()
-		} else {
-			t.Write(os.Stdout)
+	runGrid := func(grid string, gridSizes []int, gridIters int) {
+		for _, s := range []struct {
+			skew time.Duration
+			note string
+		}{
+			{*skew, "skewed"},
+			{0, "no artificial skew"},
+		} {
+			t := bench.ScaleProjection(gridSizes, s.skew, *count,
+				bench.Opts{Iters: gridIters, Seed: *seed, Workers: *parallel, Pool: pool,
+					Fault: fault.Config{Seed: *faultSeed, Rule: fault.Rule{Drop: *loss}}})
+			t.Title = fmt.Sprintf("%s (%s%s, max skew %v, %d elements, %d iters)",
+				t.Title, grid, s.note, s.skew, *count, gridIters)
+			if *csv {
+				t.WriteCSV(os.Stdout)
+				fmt.Println()
+			} else {
+				t.Write(os.Stdout)
+			}
+			entries = append(entries, entry(grid+s.note, gridSizes, gridIters, *reuse, t.Perf))
 		}
-		entries = append(entries, entry(s.note, t.Perf))
+	}
+	runGrid("", sizes, *iters)
+	if big := parseSizes("-bigsizes", *bigSizes); len(big) > 0 {
+		runGrid("large-n ", big, *bigIters)
 	}
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, sizes, *iters, *seed, entries); err != nil {
+		if err := writeBenchJSON(*benchJSON, sizes, *iters, entries); err != nil {
 			fmt.Fprintf(os.Stderr, "abscale: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
+// sameSizes reports whether two size grids are identical.
+func sameSizes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // writeBenchJSON records the scaling sweeps' execution metrics plus the
-// fixed kernel microbenchmark, side by side with its recorded
-// pre-overhaul baseline.
-func writeBenchJSON(path string, sizes []int, iters int, seed int64, entries []perfEntry) error {
+// fixed kernel microbenchmark, side by side with the recorded
+// pre-overhaul kernel baseline and the pre-reuse sweep baseline.
+func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry) error {
 	micro := bench.KernelMicrobench(bench.AppBypass, 50, 20030701)
 	microNab := bench.KernelMicrobench(bench.NonAppBypass, 50, 20030701)
 	doc := struct {
 		Workload string `json:"workload"`
 		Sizes    []int  `json:"sizes"`
 		Iters    int    `json:"iters"`
-		Seed     int64  `json:"seed"`
 		Baseline struct {
 			EventsPerSec   float64 `json:"events_per_sec"`
 			AllocsPerEvent float64 `json:"allocs_per_event"`
@@ -140,9 +203,24 @@ func writeBenchJSON(path string, sizes []int, iters int, seed int64, entries []p
 		MicroNab    bench.KernelMicrobenchResult `json:"kernel_microbench_nab"`
 		SpeedupX    float64                      `json:"microbench_speedup_vs_baseline"`
 		AllocRatioX float64                      `json:"microbench_alloc_reduction_vs_baseline"`
-		ScalingPerf []perfEntry                  `json:"scaling_sweeps"`
+
+		// The standard grid's recorded pre-reuse performance (build a
+		// cluster per cell) and the current run's improvement over it;
+		// ratios are only emitted when this run used the same grid.
+		SweepBaseline struct {
+			Sizes                []int   `json:"sizes"`
+			Iters                int     `json:"iters"`
+			SkewedWallMS         float64 `json:"skewed_wall_ms"`
+			SkewedAllocsPerEvent float64 `json:"skewed_allocs_per_event"`
+			NoSkewWallMS         float64 `json:"noskew_wall_ms"`
+			NoSkewAllocsPerEvent float64 `json:"noskew_allocs_per_event"`
+		} `json:"scaling_sweep_baseline"`
+		SweepWallSpeedup    float64 `json:"sweep_wall_speedup_vs_baseline,omitempty"`
+		SweepAllocReduction float64 `json:"sweep_alloc_reduction_vs_baseline,omitempty"`
+
+		ScalingPerf []perfEntry `json:"scaling_sweeps"`
 	}{Workload: "32-node Fig. 6 CPU-utilization workload (count=4, skew=1ms, iters=50, seed=20030701)",
-		Sizes: sizes, Iters: iters, Seed: seed, Micro: micro, MicroNab: microNab, ScalingPerf: entries}
+		Sizes: sizes, Iters: iters, Micro: micro, MicroNab: microNab, ScalingPerf: entries}
 	doc.Baseline.EventsPerSec = bench.BaselineEventsPerSec
 	doc.Baseline.AllocsPerEvent = bench.BaselineAllocsPerEvent
 	if doc.Baseline.EventsPerSec > 0 {
@@ -150,6 +228,19 @@ func writeBenchJSON(path string, sizes []int, iters int, seed int64, entries []p
 	}
 	if micro.AllocsPerEvent > 0 {
 		doc.AllocRatioX = doc.Baseline.AllocsPerEvent / micro.AllocsPerEvent
+	}
+	doc.SweepBaseline.Sizes = bench.BaselineSweepSizes
+	doc.SweepBaseline.Iters = bench.BaselineSweepIters
+	doc.SweepBaseline.SkewedWallMS = bench.BaselineSweepSkewedWallMS
+	doc.SweepBaseline.SkewedAllocsPerEvent = bench.BaselineSweepSkewedAllocsPerEvent
+	doc.SweepBaseline.NoSkewWallMS = bench.BaselineSweepNoSkewWallMS
+	doc.SweepBaseline.NoSkewAllocsPerEvent = bench.BaselineSweepNoSkewAllocsPerEvent
+	for _, e := range entries {
+		if e.Sweep == "skewed" && sameSizes(e.Sizes, bench.BaselineSweepSizes) &&
+			e.Iters == bench.BaselineSweepIters && e.WallMS > 0 && e.AllocsPerEvent > 0 {
+			doc.SweepWallSpeedup = bench.BaselineSweepSkewedWallMS / e.WallMS
+			doc.SweepAllocReduction = bench.BaselineSweepSkewedAllocsPerEvent / e.AllocsPerEvent
+		}
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

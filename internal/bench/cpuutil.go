@@ -18,7 +18,9 @@
 package bench
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"time"
 
 	"abred/internal/cluster"
@@ -73,6 +75,25 @@ type Config struct {
 	// RendezvousAB opts the engines into the §V-B large-message bypass
 	// extension (AppBypass mode only).
 	RendezvousAB bool
+
+	// Pool, when set, sources the simulated cluster from a reuse pool
+	// instead of building it from scratch: the cluster is Reset under
+	// this config's seed and fault plan (byte-identical to a fresh
+	// build, enforced by the determinism tests) and returned to the
+	// pool afterwards. Nil preserves the build-per-run behavior.
+	Pool *cluster.Pool
+}
+
+// acquire returns the cluster to benchmark on and a release function:
+// Get/Put against the pool when one is set, New/Close otherwise.
+func (c *Config) acquire() (*cluster.Cluster, func()) {
+	cc := c.clusterConfig()
+	if c.Pool != nil {
+		cl := c.Pool.Get(cc)
+		return cl, func() { c.Pool.Put(cl) }
+	}
+	cl := cluster.New(cc)
+	return cl, cl.Close
 }
 
 // clusterConfig assembles the cluster construction parameters.
@@ -142,15 +163,17 @@ func CPUUtil(cfg Config) CPUUtilResult {
 	if size < 1 {
 		panic("bench: empty cluster")
 	}
-	cl := cluster.New(cfg.clusterConfig())
-	defer cl.Close()
+	cl, release := cfg.acquire()
+	defer release()
 
 	// Pre-generate per-(iteration, rank) skews so results are
-	// independent of execution interleaving.
+	// independent of execution interleaving. One flat slab, sliced per
+	// iteration: 2 allocations instead of Iters+1, same draw order.
 	rng := cl.K.NewRNG()
+	flat := make([]sim.Time, cfg.Iters*size)
 	skews := make([][]sim.Time, cfg.Iters)
 	for it := range skews {
-		skews[it] = make([]sim.Time, size)
+		skews[it] = flat[it*size : (it+1)*size]
 		if cfg.MaxSkew > 0 {
 			for r := range skews[it] {
 				skews[it][r] = sim.Time(rng.Int63n(int64(cfg.MaxSkew) + 1))
@@ -176,7 +199,7 @@ func CPUUtil(cfg Config) CPUUtilResult {
 		}
 		in := make([]byte, cfg.Count*8)
 		for i := 0; i < cfg.Count; i++ {
-			copy(in[i*8:], mpi.Float64sToBytes([]float64{float64(n.ID + i)}))
+			binary.LittleEndian.PutUint64(in[i*8:], math.Float64bits(float64(n.ID+i)))
 		}
 		out := make([]byte, cfg.Count*8)
 

@@ -17,6 +17,26 @@ const (
 	BaselineAllocsPerEvent = 2.102
 )
 
+// Recorded performance of abscale's standard scaling grid (sizes
+// 32,128,512,1024 × iters 100, serial) before the cluster-reuse and
+// slab-allocation work, when every grid cell rebuilt its cluster from
+// scratch. BENCH_kernel.json reports the current reuse-path numbers
+// next to these so the large-N fast-path win stays auditable.
+const (
+	BaselineSweepSkewedWallMS         = 5386.88
+	BaselineSweepSkewedAllocsPerEvent = 0.09267
+	BaselineSweepNoSkewWallMS         = 6741.08
+	BaselineSweepNoSkewAllocsPerEvent = 0.09415
+)
+
+// BaselineSweepSizes and BaselineSweepIters identify the workload the
+// scaling-sweep baseline constants were measured on; improvement ratios
+// are only reported for a matching run.
+var BaselineSweepSizes = []int{32, 128, 512, 1024}
+
+// BaselineSweepIters is the iteration count of the recorded baseline.
+const BaselineSweepIters = 100
+
 // KernelMicrobenchResult is one measured run of the kernel
 // microbenchmark: raw simulation throughput and allocation cost on a
 // fixed workload.

@@ -28,8 +28,8 @@ const notifyTag = 1 << 20
 func Latency(cfg Config) LatencyResult {
 	cfg.defaults()
 	size := len(cfg.Specs)
-	cl := cluster.New(cfg.clusterConfig())
-	defer cl.Close()
+	cl, release := cfg.acquire()
+	defer release()
 	root := cfg.Root
 	last := coll.LastRank(root, size)
 

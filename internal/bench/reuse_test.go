@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"abred/internal/cluster"
+	"abred/internal/fault"
+)
+
+// renderSubset renders a figure subset that revisits the same cluster
+// shapes many times — exactly the access pattern the reuse pool serves.
+func renderSubset(o Opts) string {
+	var out string
+	for _, tab := range []*Table{
+		Fig7(o),
+		ScaleProjection([]int{8, 16}, 200*time.Microsecond, 4, o),
+	} {
+		var b strings.Builder
+		tab.Write(&b)
+		tab.WriteCSV(&b)
+		out += b.String()
+	}
+	return out
+}
+
+// TestReuseDeterminism is the tentpole guarantee at the benchmark level:
+// figures produced from pooled, Reset clusters must be byte-identical to
+// fresh-build figures — across worker counts, on repeated renders of the
+// same warm pool, and under fault injection.
+func TestReuseDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fc   fault.Config
+	}{
+		{"clean", fault.Config{}},
+		{"lossy", fault.Config{Seed: 3, Rule: fault.Rule{Drop: 0.01}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := Opts{Iters: 2, Seed: 7, Workers: 1, Fault: tc.fc}
+			want := renderSubset(base) // no pool: build per cell
+			for _, workers := range []int{1, 4} {
+				pool := cluster.NewPool()
+				o := base
+				o.Workers = workers
+				o.Pool = pool
+				if got := renderSubset(o); got != want {
+					t.Fatalf("workers=%d: cold-pool output differs from fresh build:\n%s",
+						workers, firstDiff(got, want))
+				}
+				// Second render on the warm pool: every cell reuses.
+				if got := renderSubset(o); got != want {
+					t.Fatalf("workers=%d: warm-pool output differs from fresh build:\n%s",
+						workers, firstDiff(got, want))
+				}
+				pool.Drain()
+			}
+		})
+	}
+}

@@ -1,10 +1,14 @@
 // Package cluster assembles complete virtual clusters: a simulation
 // kernel, a fabric, one NIC per node, and an SPMD launcher that runs an
-// MPI program as one simulated process per node.
+// MPI program as one simulated process per node. Built clusters can be
+// reset and reused across runs (see Reset and Pool): re-running a
+// program on a reused cluster is byte-identical to rebuilding from
+// scratch, at a fraction of the construction cost.
 package cluster
 
 import (
 	"fmt"
+	"strconv"
 
 	"abred/internal/core"
 	"abred/internal/fabric"
@@ -26,6 +30,11 @@ type Node struct {
 	MPI    *mpi.Process
 	Engine *core.Engine
 	world  *mpi.Comm
+
+	cl      *Cluster
+	pname   string          // proc name, built once ("rank" + ID)
+	spawnFn func(*sim.Proc) // bound body method, built once (no per-Run closure)
+	fresh   bool            // Reset since the last Run: re-initialize MPI state in place
 }
 
 // Cluster is a simulated machine room.
@@ -34,6 +43,9 @@ type Cluster struct {
 	Costs  model.Costs
 	Fabric *fabric.Fabric
 	Nodes  []*Node
+
+	program Program // body of the Run in progress
+	key     poolKey // shape key, computed once for Pool.Put
 }
 
 // Config controls cluster construction.
@@ -49,8 +61,28 @@ type Config struct {
 	Fault fault.Config
 }
 
+// packetPoolCap right-sizes the per-NIC recycled-packet cap for the
+// cluster scale: small clusters keep GM's deep per-NIC pool, large ones
+// shrink it so 16384 NICs cannot pin a million idle packets between
+// iterations. Pool depth never affects virtual time, only allocation
+// traffic, so the cap is invisible to simulation results.
+func packetPoolCap(n int) int {
+	const budget = 256 * 1024 // cluster-wide pooled-packet ceiling
+	c := budget / n
+	if c > 256 {
+		c = 256
+	}
+	if c < 8 {
+		c = 8
+	}
+	return c
+}
+
 // New builds a cluster: kernel, fabric and NICs. MPI processes appear
-// when Run starts a program.
+// when Run starts a program. Node and NIC storage is slab-allocated
+// (one backing array each) and nodes with identical hardware share one
+// derived cost table, so construction cost and footprint scale with the
+// number of distinct node classes, not with raw node count.
 func New(cfg Config) *Cluster {
 	if len(cfg.Specs) == 0 {
 		panic("cluster: no node specs")
@@ -68,47 +100,108 @@ func New(cfg Config) *Cluster {
 		fab.Inject = plan
 		fab.OnDrop, fab.ClonePayload = gm.FaultHooks()
 	}
-	c := &Cluster{K: k, Costs: cfg.Costs, Fabric: fab}
+	c := &Cluster{K: k, Costs: cfg.Costs, Fabric: fab, key: keyOf(cfg)}
+	cms := model.SharedCostModels(cfg.Specs, cfg.Costs)
+	nics := gm.NewNICs(k, cms, fab)
+	poolCap := packetPoolCap(len(cfg.Specs))
+	nodes := make([]Node, len(cfg.Specs))
+	c.Nodes = make([]*Node, len(cfg.Specs))
 	for i, spec := range cfg.Specs {
-		cm := model.NewCostModel(spec, cfg.Costs)
-		c.Nodes = append(c.Nodes, &Node{
-			ID:   i,
-			Spec: spec,
-			CM:   cm,
-			NIC:  gm.NewNIC(k, i, cm, fab),
-		})
+		n := &nodes[i]
+		n.ID = i
+		n.Spec = spec
+		n.CM = cms[i]
+		n.NIC = nics[i]
+		n.NIC.SetPacketPoolCap(poolCap)
+		n.cl = c
+		n.pname = "rank" + strconv.Itoa(i)
+		n.spawnFn = n.body
 		if fab.Inject != nil {
-			c.Nodes[i].NIC.EnableReliability()
+			n.NIC.EnableReliability()
 		}
+		c.Nodes[i] = n
 	}
 	return c
+}
+
+// Reset returns the cluster to its just-built state under cfg's seed and
+// fault plan, so the next Run behaves byte-identically to a run on a
+// freshly built cluster with the same Config — the guarantee the reuse
+// determinism tests enforce. The hardware must match: specs and costs
+// are construction-time properties (they shape cost tables and fabric
+// rates), so a mismatch panics; use a Pool to route configs to matching
+// clusters automatically. Seed and fault plan are run-time properties
+// and may change freely.
+func (c *Cluster) Reset(cfg Config) {
+	if cfg.Costs == (model.Costs{}) {
+		cfg.Costs = model.DefaultCosts()
+	}
+	if len(cfg.Specs) != len(c.Nodes) {
+		panic(fmt.Sprintf("cluster: Reset with %d specs on a %d-node cluster", len(cfg.Specs), len(c.Nodes)))
+	}
+	if cfg.Costs != c.Costs {
+		panic("cluster: Reset with different costs")
+	}
+	for i, n := range c.Nodes {
+		if cfg.Specs[i] != n.Spec {
+			panic(fmt.Sprintf("cluster: Reset with different spec for node %d", i))
+		}
+	}
+	c.K.Reset(cfg.Seed)
+	c.Fabric.Reset()
+	reliable := false
+	if plan := fault.New(cfg.Fault); plan != nil {
+		c.Fabric.Inject = plan
+		c.Fabric.OnDrop, c.Fabric.ClonePayload = gm.FaultHooks()
+		reliable = true
+	}
+	for _, n := range c.Nodes {
+		n.NIC.Reset(reliable)
+		n.Proc = nil
+		n.fresh = n.MPI != nil
+	}
+	c.program = nil
 }
 
 // Program is the per-rank body of an SPMD run. The world communicator
 // and the node's application-bypass engine arrive ready to use.
 type Program func(n *Node, w *mpi.Comm)
 
+// body is the spawned entry point of one rank; a method rather than a
+// per-Run closure so repeated Runs on a reused cluster allocate nothing
+// per node beyond the goroutine itself.
+func (n *Node) body(p *sim.Proc) {
+	c := n.cl
+	n.Proc = p
+	switch {
+	case n.MPI == nil:
+		n.MPI = mpi.NewProcess(p, n.ID, len(c.Nodes), n.NIC, n.CM)
+		n.Engine = core.NewEngine(n.MPI)
+		n.world = mpi.World(n.MPI)
+	case n.fresh:
+		// First program after a Reset: re-initialize the rank in place,
+		// mirroring the fresh-build path exactly (including the eager
+		// bounce-buffer pin charged to p).
+		n.MPI.Reset(p)
+		n.Engine.Reset()
+		n.world = mpi.World(n.MPI)
+		n.fresh = false
+	default:
+		// Follow-up program on the same cluster: rebind the rank to its
+		// fresh simulated process, keeping queues, sequence counters and
+		// engine state.
+		n.MPI.Rebind(p)
+	}
+	c.program(n, n.world)
+}
+
 // Run executes program once per node and drives the simulation to
 // completion, returning the final virtual time. Run may be called again
 // to execute a follow-up program on the same cluster.
 func (c *Cluster) Run(program Program) sim.Time {
-	size := len(c.Nodes)
+	c.program = program
 	for _, n := range c.Nodes {
-		n := n
-		c.K.Spawn(fmt.Sprintf("rank%d", n.ID), func(p *sim.Proc) {
-			n.Proc = p
-			if n.MPI == nil {
-				n.MPI = mpi.NewProcess(p, n.ID, size, n.NIC, n.CM)
-				n.Engine = core.NewEngine(n.MPI)
-				n.world = mpi.World(n.MPI)
-			} else {
-				// Follow-up program on the same cluster: rebind the
-				// rank to its fresh simulated process, keeping queues,
-				// sequence counters and engine state.
-				n.MPI.Rebind(p)
-			}
-			program(n, n.world)
-		})
+		c.K.Spawn(n.pname, n.spawnFn)
 	}
 	end := c.K.Run()
 	for _, n := range c.Nodes {

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+
+	"abred/internal/model"
+)
+
+// Pool recycles built clusters across simulation runs. A sweep that
+// visits the same cluster shape many times (every figure grid does)
+// pays construction — N goroutine-free NICs, cost tables, fabric
+// arrays — once per shape instead of once per point: Get returns a
+// pooled cluster Reset under the requested seed and fault plan, which
+// is byte-identical to building fresh (enforced by the reuse
+// determinism tests).
+//
+// Clusters are matched on their construction-time shape: node specs and
+// cost constants. Seed and fault configuration are run-time properties
+// that Reset re-applies. Idle pooled clusters hold no goroutines (NIC
+// control programs are callback daemons, and rank procs die with each
+// run), so an abandoned Pool costs memory only; call Drain for a tidy
+// shutdown.
+//
+// Pool is safe for concurrent use: the sweep engine's workers Get and
+// Put from independent goroutines.
+type Pool struct {
+	mu   sync.Mutex
+	free map[poolKey][]*Cluster
+}
+
+// poolKey summarizes a cluster shape. The spec hash may collide, so Get
+// re-verifies actual equality before reusing a cluster.
+type poolKey struct {
+	n     int
+	specs uint64
+	costs model.Costs
+}
+
+// NewPool returns an empty cluster pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[poolKey][]*Cluster)}
+}
+
+// hashSpecs is FNV-1a over the spec fields, in node order.
+func hashSpecs(specs []model.NodeSpec) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
+	}
+	for _, s := range specs {
+		for i := 0; i < len(s.Class); i++ {
+			mix(uint64(s.Class[i]))
+		}
+		mix(uint64(s.CPUMHz))
+		mix(uint64(s.LANaiMHz))
+		mix(math.Float64bits(s.PCIMBps))
+	}
+	return h
+}
+
+func keyOf(cfg Config) poolKey {
+	return poolKey{n: len(cfg.Specs), specs: hashSpecs(cfg.Specs), costs: cfg.Costs}
+}
+
+// matches reports whether c was built with exactly this shape.
+func (c *Cluster) matches(cfg Config) bool {
+	if len(cfg.Specs) != len(c.Nodes) || cfg.Costs != c.Costs {
+		return false
+	}
+	for i, n := range c.Nodes {
+		if cfg.Specs[i] != n.Spec {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns a cluster for cfg: a pooled one Reset under cfg's seed
+// and fault plan if a matching shape is available, a freshly built one
+// otherwise. Return it with Put when the run is done.
+func (p *Pool) Get(cfg Config) *Cluster {
+	if cfg.Costs == (model.Costs{}) {
+		cfg.Costs = model.DefaultCosts()
+	}
+	k := keyOf(cfg)
+	var c *Cluster
+	p.mu.Lock()
+	list := p.free[k]
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].matches(cfg) {
+			c = list[i]
+			list[i] = list[len(list)-1]
+			list[len(list)-1] = nil
+			p.free[k] = list[:len(list)-1]
+			break
+		}
+	}
+	p.mu.Unlock()
+	if c == nil {
+		return New(cfg)
+	}
+	c.Reset(cfg)
+	return c
+}
+
+// Put returns a cluster to the pool for later reuse. The cluster must
+// not be used by the caller afterwards.
+func (p *Pool) Put(c *Cluster) {
+	p.mu.Lock()
+	p.free[c.key] = append(p.free[c.key], c)
+	p.mu.Unlock()
+}
+
+// Drain closes every pooled cluster and empties the pool. The pool
+// remains usable; subsequent Gets build fresh.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	free := p.free
+	p.free = make(map[poolKey][]*Cluster)
+	p.mu.Unlock()
+	for _, list := range free {
+		for _, c := range list {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled skips allocation-ceiling assertions under the race
+// detector, whose instrumentation inflates allocation counts.
+const raceEnabled = true

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"abred/internal/coll"
+	"abred/internal/fault"
+	"abred/internal/model"
+	"abred/internal/mpi"
+	"abred/internal/sim"
+)
+
+// fingerprint runs the skewed AB-reduce workload on c and renders every
+// observable outcome — virtual end time, result bytes, event count, and
+// per-node NIC/engine/MPI statistics — into one string. Two runs are
+// byte-identical iff their fingerprints match. The workload draws a
+// kernel RNG stream per rank, so stream numbering across Reset is
+// exercised too.
+func fingerprint(c *Cluster) string {
+	size := len(c.Nodes)
+	count := 16
+	results := make([][]byte, size)
+	end := c.Run(func(n *Node, w *mpi.Comm) {
+		rng := c.K.NewRNG()
+		in := mpi.Float64sToBytes(rankInput(n.ID, count))
+		out := make([]byte, count*8)
+		for iter := 0; iter < 3; iter++ {
+			skew := sim.Time(rng.Int63n(1000)) * us
+			n.Proc.SpinInterruptible(skew)
+			n.Engine.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, 0)
+			n.Proc.SpinInterruptible(1500 * us)
+			coll.Barrier(w)
+		}
+		results[n.ID] = out
+	})
+	s := fmt.Sprintf("end=%d events=%d\n", end, c.K.Events())
+	for i, n := range c.Nodes {
+		s += fmt.Sprintf("rank%d out=%x nic=%+v eng=%+v mpi=%+v mem=%d\n",
+			i, results[i], n.NIC.Stats(), n.Engine.Metrics, n.MPI.Stats,
+			n.MPI.Mem.PeakBytes())
+	}
+	drop, dup := c.Fabric.FaultStats()
+	s += fmt.Sprintf("fault drop=%d dup=%d\n", drop, dup)
+	return s
+}
+
+// TestResetDeterminism proves the tentpole guarantee: a Reset cluster
+// replays a config byte-identically to a freshly built one, including
+// after runs under other seeds and other fault plans in between.
+func TestResetDeterminism(t *testing.T) {
+	lossy := fault.Config{Seed: 7, Rule: fault.Rule{Drop: 0.02, Dup: 0.01}}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"clean", Config{Specs: model.PaperCluster(8), Seed: 99}},
+		{"lossy", Config{Specs: model.PaperCluster(8), Seed: 99, Fault: lossy}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := New(tc.cfg)
+			defer fresh.Close()
+			want := fingerprint(fresh)
+
+			reused := New(Config{Specs: tc.cfg.Specs, Seed: 1234})
+			defer reused.Close()
+			fingerprint(reused) // dirty the cluster under another seed
+			for cycle := 0; cycle < 2; cycle++ {
+				reused.Reset(tc.cfg)
+				if got := fingerprint(reused); got != want {
+					t.Fatalf("reset cycle %d diverged from fresh build:\nfresh:\n%s\nreused:\n%s",
+						cycle, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestResetTogglesFaultPlan flips fault injection on and off across
+// Reset cycles on one cluster: the lossy replay must stay identical to a
+// fresh lossy build (same retransmissions, same acks), and the clean
+// replay must match a fresh clean build (reliability fully quiesced).
+func TestResetTogglesFaultPlan(t *testing.T) {
+	specs := model.PaperCluster(8)
+	clean := Config{Specs: specs, Seed: 5}
+	lossy := Config{Specs: specs, Seed: 5,
+		Fault: fault.Config{Seed: 11, Rule: fault.Rule{Drop: 0.03}}}
+
+	fc := New(clean)
+	defer fc.Close()
+	wantClean := fingerprint(fc)
+	fl := New(lossy)
+	defer fl.Close()
+	wantLossy := fingerprint(fl)
+	if wantClean == wantLossy {
+		t.Fatal("fault plan had no observable effect; test is vacuous")
+	}
+
+	c := New(clean)
+	defer c.Close()
+	for cycle, step := range []struct {
+		cfg  Config
+		want string
+	}{
+		{clean, wantClean}, {lossy, wantLossy},
+		{clean, wantClean}, {lossy, wantLossy},
+	} {
+		if cycle > 0 {
+			c.Reset(step.cfg)
+		}
+		if got := fingerprint(c); got != step.want {
+			t.Fatalf("toggle cycle %d diverged:\nwant:\n%s\ngot:\n%s",
+				cycle, step.want, got)
+		}
+	}
+}
+
+// TestResetShapeMismatchPanics: specs and costs are construction-time
+// properties; Reset must refuse rather than silently misconfigure.
+func TestResetShapeMismatchPanics(t *testing.T) {
+	c := New(Config{Specs: model.Uniform(4), Seed: 1})
+	defer c.Close()
+	mustPanic := func(name string, cfg Config) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Reset did not panic", name)
+			}
+		}()
+		c.Reset(cfg)
+	}
+	mustPanic("size", Config{Specs: model.Uniform(8), Seed: 1})
+	mustPanic("spec", Config{Specs: model.PaperCluster(4), Seed: 1})
+	costs := model.DefaultCosts()
+	costs.HostSendOvh *= 2
+	mustPanic("costs", Config{Specs: model.Uniform(4), Seed: 1, Costs: costs})
+}
+
+// TestPoolReuse checks the Pool routing contract: same shape reuses the
+// same cluster object, different shapes build fresh, and a pooled
+// cluster's results stay byte-identical to a fresh build's.
+func TestPoolReuse(t *testing.T) {
+	p := NewPool()
+	defer p.Drain()
+	cfgA := Config{Specs: model.Uniform(8), Seed: 3}
+	cfgB := Config{Specs: model.PaperCluster(8), Seed: 3}
+
+	fresh := New(cfgA)
+	defer fresh.Close()
+	want := fingerprint(fresh)
+
+	a1 := p.Get(cfgA)
+	got1 := fingerprint(a1)
+	p.Put(a1)
+	b := p.Get(cfgB) // different shape: must not hand back a1
+	if b == a1 {
+		t.Fatal("pool returned a cluster of the wrong shape")
+	}
+	p.Put(b)
+	a2 := p.Get(Config{Specs: model.Uniform(8), Seed: 3, Fault: fault.Config{}})
+	if a2 != a1 {
+		t.Fatal("pool built a new cluster although a matching one was free")
+	}
+	got2 := fingerprint(a2)
+	p.Put(a2)
+
+	if got1 != want || got2 != want {
+		t.Fatalf("pooled runs diverged from fresh build:\nfresh:\n%s\nfirst:\n%s\nreused:\n%s",
+			want, got1, got2)
+	}
+}
+
+// TestConstructionAllocsPerNode pins the slab win: building a cluster
+// must stay within a fixed allocation budget per node. Before the slab
+// and shared-cost-table work this was far higher (separate Node, NIC,
+// queue rings, cond, daemon and cost table objects per node).
+func TestConstructionAllocsPerNode(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation ceilings are calibrated without -race instrumentation")
+	}
+	const size = 256
+	specs := model.Uniform(size)
+	allocs := testing.AllocsPerRun(3, func() {
+		c := New(Config{Specs: specs, Seed: 1})
+		c.Close()
+	})
+	perNode := allocs / size
+	t.Logf("construction: %.0f allocs total, %.2f per node", allocs, perNode)
+	if perNode > 12 {
+		t.Fatalf("construction allocates %.2f objects per node (> 12); slab regression?", perNode)
+	}
+}
+
+// TestResetAllocsPerNode pins the reuse win: Reset must allocate almost
+// nothing per node — only the per-cluster fault-plan rebuild and a few
+// fixed-size objects, never O(N) fresh state.
+func TestResetAllocsPerNode(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation ceilings are calibrated without -race instrumentation")
+	}
+	const size = 256
+	c := New(Config{Specs: model.Uniform(size), Seed: 1})
+	defer c.Close()
+	c.Run(func(n *Node, w *mpi.Comm) { coll.Barrier(w) })
+	specs := c.specs()
+	allocs := testing.AllocsPerRun(5, func() {
+		c.Reset(Config{Specs: specs, Seed: 2})
+	})
+	t.Logf("reset: %.0f allocs for %d nodes", allocs, size)
+	if allocs > size/4 {
+		t.Fatalf("Reset of a %d-node cluster allocates %.0f objects; reuse regression?", size, allocs)
+	}
+}
+
+// specs reconstructs the cluster's spec slice for Reset in tests.
+func (c *Cluster) specs() []model.NodeSpec {
+	s := make([]model.NodeSpec, len(c.Nodes))
+	for i, n := range c.Nodes {
+		s[i] = n.Spec
+	}
+	return s
+}

@@ -22,20 +22,33 @@ func Barrier(c *mpi.Comm) {
 	upTag := seqTag(seq * 2)
 	downTag := seqTag(seq*2 + 1)
 	parent := Parent(rank, 0, size)
-	var token [1]byte
+	// A pooled token instead of a stack array: the array escapes through
+	// Recv's posted queue, costing one allocation per barrier. Zeroed so
+	// the wire bytes stay identical to the stack version's.
+	token := pr.GetBuf(1)
+	token[0] = 0
 
 	// Combine phase: wait for the whole subtree, then report up.
-	EachChild(rank, 0, size, func(child int) {
-		pr.Recv(ctx, child, upTag, token[:])
-	})
+	for it := Kids(rank, 0, size); ; {
+		child := it.Next()
+		if child < 0 {
+			break
+		}
+		pr.Recv(ctx, child, upTag, token)
+	}
 	if parent >= 0 {
-		pr.Send(mpi.SendArgs{Dst: parent, Ctx: ctx, Tag: upTag, Data: token[:]})
-		pr.Recv(ctx, parent, downTag, token[:])
+		pr.Send(mpi.SendArgs{Dst: parent, Ctx: ctx, Tag: upTag, Data: token})
+		pr.Recv(ctx, parent, downTag, token)
 	}
 	// Release phase: forward the release down the subtree.
-	EachChild(rank, 0, size, func(child int) {
-		pr.Send(mpi.SendArgs{Dst: child, Ctx: ctx, Tag: downTag, Data: token[:]})
-	})
+	for it := Kids(rank, 0, size); ; {
+		child := it.Next()
+		if child < 0 {
+			break
+		}
+		pr.Send(mpi.SendArgs{Dst: child, Ctx: ctx, Tag: downTag, Data: token})
+	}
+	pr.PutBuf(token) // 1-byte sends are eager: copied out synchronously
 }
 
 // BarrierDissemination is the dissemination barrier: ceil(log2 n)

@@ -47,26 +47,38 @@ func ReduceOnKind(c *mpi.Comm, kind mpi.CtxKind, seq uint64, sendbuf, recvbuf []
 	}
 
 	// Accumulate into a temporary so sendbuf stays untouched (MPI
-	// semantics); the initial copy is charged like MPICH's.
-	acc := make([]byte, n)
+	// semantics); the initial copy is charged like MPICH's. Both scratch
+	// buffers come from the process pool and are fully overwritten.
+	acc := pr.GetBuf(n)
 	pr.P.Spin(pr.CM.HostCopy(n))
 	copy(acc, sendbuf[:n])
 
-	tmp := make([]byte, n)
-	EachChild(rank, root, size, func(child int) {
+	tmp := pr.GetBuf(n)
+	for it := Kids(rank, root, size); ; {
+		child := it.Next()
+		if child < 0 {
+			break
+		}
 		pr.Recv(ctx, child, tag, tmp)
 		pr.P.Spin(pr.CM.ReduceOp(count, dt.Size()))
 		mpi.Apply(op, dt, acc, tmp, count)
-	})
+	}
+	pr.PutBuf(tmp)
 
 	if parent < 0 {
 		copy(recvbuf[:n], acc)
+		pr.PutBuf(acc)
 		return
 	}
 	pr.Send(mpi.SendArgs{
 		Dst: parent, Ctx: ctx, Tag: tag, Data: acc,
 		Collective: collective, Root: int32(root), Seq: seq,
 	})
+	if n <= pr.CM.C.EagerThreshold {
+		// An eager send copied acc out synchronously; a rendezvous data
+		// packet still aliases it in flight, so it must not be pooled.
+		pr.PutBuf(acc)
+	}
 }
 
 // seqTag folds a collective instance number into a tag.

@@ -52,6 +52,56 @@ func EachChild(rank, root, size int, f func(child int)) {
 	}
 }
 
+// AppendChildren appends rank's children to dst in ascending mask order
+// and returns the extended slice — the allocation-free form of Children
+// for callers that keep a reusable backing array (the application-bypass
+// descriptor pool).
+func AppendChildren(dst []int, rank, root, size int) []int {
+	checkTreeArgs(rank, root, size)
+	rel := (rank - root + size) % size
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask != 0 {
+			break
+		}
+		if child := rel | mask; child < size {
+			dst = append(dst, (child+root)%size)
+		}
+	}
+	return dst
+}
+
+// ChildIter walks rank's children in ascending mask order without a
+// callback or slice. EachChild's closure costs one heap allocation per
+// call at every capture site; the collective hot paths iterate with this
+// value type instead.
+type ChildIter struct {
+	rel, root, size int
+	mask            int
+}
+
+// Kids returns an iterator over rank's children in the tree rooted at
+// root. Use: for c := it.Next(); c >= 0; c = it.Next() { ... }
+func Kids(rank, root, size int) ChildIter {
+	checkTreeArgs(rank, root, size)
+	return ChildIter{rel: (rank - root + size) % size, root: root, size: size, mask: 1}
+}
+
+// Next returns the next child rank, or -1 when the walk is done.
+func (it *ChildIter) Next() int {
+	for it.mask < it.size {
+		if it.rel&it.mask != 0 {
+			it.mask = it.size
+			return -1
+		}
+		child := it.rel | it.mask
+		it.mask <<= 1
+		if child < it.size {
+			return (child + it.root) % it.size
+		}
+	}
+	return -1
+}
+
 // ChildCount returns the number of children rank has in the tree rooted
 // at root.
 func ChildCount(rank, root, size int) int {

@@ -32,7 +32,6 @@ func (e *Engine) Reduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.
 	}
 
 	rank, size := c.Rank(), c.Size()
-	children := coll.Children(rank, root, size)
 
 	if rank == root {
 		// The root must block until the reduction completes (the MPI
@@ -44,7 +43,7 @@ func (e *Engine) Reduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.
 		coll.ReduceWithSeq(c, seq, sendbuf, recvbuf, count, dt, op, root, true)
 		return
 	}
-	if len(children) == 0 {
+	if coll.ChildCount(rank, root, size) == 0 {
 		// A leaf's only action is one send to its parent (§II).
 		e.Metrics.LeafReductions++
 		parent := coll.Parent(rank, root, size)
@@ -72,25 +71,30 @@ func (e *Engine) beginInternal(c *mpi.Comm, kind mpi.CtxKind, seq uint64, sendbu
 
 	pr.NIC().DisableSignals()
 
-	acc := make([]byte, n)
-	pr.P.Spin(pr.CM.HostCopy(n))
-	copy(acc, sendbuf[:n])
-
-	d := &descriptor{
-		ctx:     c.Ctx(kind),
-		seq:     seq,
-		tag:     seqTag(seq),
-		root:    root,
-		parent:  coll.Parent(rank, root, size),
-		pending: coll.Children(rank, root, size),
-		acc:     acc,
-		count:   count,
-		dt:      dt,
-		op:      op,
-		req:     req,
-		recvbuf: recvbuf,
-		created: pr.P.Now(),
+	// The descriptor, its accumulator and its child list all come from
+	// the engine's recycle pool; every field is overwritten here.
+	d := e.getDesc()
+	if cap(d.acc) >= n {
+		d.acc = d.acc[:n]
+	} else {
+		d.acc = make([]byte, n)
 	}
+	pr.P.Spin(pr.CM.HostCopy(n))
+	copy(d.acc, sendbuf[:n])
+
+	d.ctx = c.Ctx(kind)
+	d.seq = seq
+	d.tag = seqTag(seq)
+	d.root = root
+	d.parent = coll.Parent(rank, root, size)
+	d.pending = coll.AppendChildren(d.pending[:0], rank, root, size)
+	d.count = count
+	d.dt = dt
+	d.op = op
+	d.req = req
+	d.recvbuf = recvbuf
+	d.completed = false
+	d.created = pr.P.Now()
 	e.pushDesc(d)
 	e.drainUBQ(d)
 	return d

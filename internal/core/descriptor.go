@@ -32,6 +32,36 @@ type descriptor struct {
 	created   sim.Time
 }
 
+// maxDescPool caps the recycled-descriptor list; the descriptor queue
+// stays shallow (DescQueuePeak is single digits in every workload), so
+// the pool does too.
+const maxDescPool = 32
+
+// getDesc returns a descriptor from the pool, keeping the recycled acc
+// and pending backing arrays; beginInternal overwrites every field.
+func (e *Engine) getDesc() *descriptor {
+	if l := len(e.descFree); l > 0 {
+		d := e.descFree[l-1]
+		e.descFree[l-1] = nil
+		e.descFree = e.descFree[:l-1]
+		return d
+	}
+	return &descriptor{}
+}
+
+// putDesc recycles a completed descriptor. The struct is deliberately
+// not zeroed: syncPhase and drainUBQ still read d.completed after the
+// instance finished, and it stays true until the next getDesc hands the
+// memory to a new instance — which can only happen in a later
+// beginInternal, strictly after those readers are done with it.
+func (e *Engine) putDesc(d *descriptor) {
+	d.req = nil
+	d.recvbuf = nil
+	if len(e.descFree) < maxDescPool {
+		e.descFree = append(e.descFree, d)
+	}
+}
+
 // waitingOn reports whether child has not been processed yet.
 func (d *descriptor) waitingOn(child int) bool {
 	for _, c := range d.pending {
@@ -67,6 +97,7 @@ func (e *Engine) processChild(d *descriptor, child int, data []byte) {
 	}
 
 	d.completed = true
+	recycle := true
 	if d.parent >= 0 {
 		sreq := pr.Isend(mpi.SendArgs{
 			Dst: d.parent, Ctx: d.ctx, Tag: d.tag, Data: d.acc,
@@ -74,7 +105,9 @@ func (e *Engine) processChild(d *descriptor, child int, data []byte) {
 		})
 		if !sreq.Done() {
 			// Rendezvous upward send: keep signals armed until the
-			// clear-to-send handshake finishes.
+			// clear-to-send handshake finishes. The data packet aliases
+			// d.acc until delivery, so this descriptor is not recycled.
+			recycle = false
 			sreq.SetOnComplete(func() { e.updateSignals() })
 		}
 	} else {
@@ -86,6 +119,9 @@ func (e *Engine) processChild(d *descriptor, child int, data []byte) {
 	e.removeDesc(d)
 	e.Metrics.CompletedInstances++
 	e.updateSignals()
+	if recycle {
+		e.putDesc(d)
+	}
 }
 
 // removeDesc drops d from the descriptor queue.

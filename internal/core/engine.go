@@ -51,6 +51,12 @@ type Engine struct {
 	descQ []*descriptor
 	ubq   []*abMsg
 
+	// descFree recycles completed descriptors with their acc and pending
+	// backing arrays, so a steady-state internal-node reduction allocates
+	// nothing. Descriptors whose result went up by rendezvous are not
+	// recycled: the in-flight data packet aliases their acc.
+	descFree []*descriptor
+
 	// inSync is nonzero while the synchronous component of Reduce is
 	// driving progress; it attributes hook work to the right phase.
 	inSync int
@@ -101,6 +107,38 @@ func NewEngine(pr *mpi.Process) *Engine {
 	})
 	e.installNICFirmware()
 	return e
+}
+
+// Reset returns the engine to its NewEngine state for a cluster reuse
+// run: queues, metrics and broadcast state clear (keeping capacity), the
+// default delay policy restored, and the hook/signal/firmware wiring
+// re-installed on the freshly reset process and NIC. The descriptor
+// pool survives the reset — pool hits never touch virtual time. Neither
+// NewEngine nor Reset charges virtual time, so a reused engine is
+// byte-identical to a fresh one.
+func (e *Engine) Reset() {
+	for i := range e.descQ {
+		e.descQ[i] = nil
+	}
+	e.descQ = e.descQ[:0]
+	for i := range e.ubq {
+		e.ubq[i] = nil
+	}
+	e.ubq = e.ubq[:0]
+	e.inSync = 0
+	e.rendezvousAB = false
+	e.delay = NoDelay{}
+	e.bcast.active = false
+	clear(e.bcast.pending)
+	clear(e.bcast.arrived)
+	e.traceFn = nil
+	e.Metrics = Metrics{}
+	pr := e.pr
+	pr.SetABHook(e.hook)
+	pr.NIC().SetSignalHandler(func() {
+		pr.P.Interrupt(e.sigFn)
+	})
+	e.installNICFirmware()
 }
 
 // Process returns the MPI process the engine drives.

@@ -82,9 +82,8 @@ func (e *Engine) IReduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi
 	}
 
 	rank, size := c.Rank(), c.Size()
-	children := coll.Children(rank, root, size)
 
-	if len(children) == 0 {
+	if coll.ChildCount(rank, root, size) == 0 {
 		if rank == root { // single-rank communicator
 			copy(recvbuf[:n], sendbuf[:n])
 			return &Request{e: e, done: true}

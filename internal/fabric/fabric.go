@@ -87,6 +87,23 @@ func New(k *sim.Kernel, n int, costs model.Costs) *Fabric {
 	}
 }
 
+// Reset returns the fabric to its just-built state for a cluster reuse
+// cycle: link occupancy, counters and hooks clear, while the node sinks
+// registered by Connect and the delivery-record pool survive. Any frame
+// still in flight was already discarded by the kernel reset that
+// precedes this call; its delivery record is simply lost from the pool.
+func (f *Fabric) Reset() {
+	for i := range f.injectFree {
+		f.injectFree[i] = 0
+		f.ejectFree[i] = 0
+	}
+	f.frames, f.bytes, f.dropped, f.duplicated = 0, 0, 0, 0
+	f.OnDeliver = nil
+	f.Inject = nil
+	f.OnDrop = nil
+	f.ClonePayload = nil
+}
+
 // delivery is one frame in flight: a pooled sim.Runner, so scheduling a
 // delivery allocates nothing in steady state (the old closure-per-frame
 // was two heap allocations: the closure and the escaped frame).

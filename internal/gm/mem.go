@@ -33,6 +33,16 @@ func NewMemRegistry(cm model.CostModel) *MemRegistry {
 	return &MemRegistry{cm: cm, live: make(map[uint64]*Region)}
 }
 
+// Reset empties the registry for a cluster reuse cycle, keeping the map
+// capacity. Afterwards it is indistinguishable from a fresh registry.
+func (r *MemRegistry) Reset() {
+	r.nextID = 0
+	clear(r.live)
+	r.pinnedBytes = 0
+	r.peakBytes = 0
+	r.pins = 0
+}
+
 // Pin registers size bytes for DMA, charging the syscall cost to p.
 func (r *MemRegistry) Pin(p *sim.Proc, size int) *Region {
 	p.Spin(r.cm.Pin(size))

@@ -103,9 +103,12 @@ type NIC struct {
 	cm   model.CostModel
 	fab  *fabric.Fabric
 
-	ctl   *sim.Daemon
-	evQ   *sim.Queue[nicEvent] // drained by the control program via TryGet
-	hostQ *sim.Queue[*Packet]
+	// The control daemon, work queues and token condition are embedded
+	// by value: one NIC is one allocation (plus its name strings), so
+	// NewNICs can slab-allocate a whole cluster's worth.
+	ctl   sim.Daemon
+	evQ   sim.Queue[nicEvent] // drained by the control program via TryGet
+	hostQ sim.Queue[*Packet]
 
 	st    int      // control-program state
 	cur   nicEvent // event being processed while busy
@@ -119,7 +122,7 @@ type NIC struct {
 	firmware Firmware
 
 	sendTokens int
-	tokenCond  *sim.Cond
+	tokenCond  sim.Cond
 
 	// Receive tokens: GM can only deliver into host buffers the
 	// application provided in advance; a delivery with no token parks
@@ -129,20 +132,44 @@ type NIC struct {
 	// pfree recycles eager packets and their payload buffers: the
 	// sender draws from its NIC's pool, the consumer releases into its
 	// own NIC's pool (same kernel, so no synchronization is needed).
-	pfree []*Packet
+	// poolCap bounds it; SetPacketPoolCap right-sizes the default for
+	// very large clusters.
+	pfree   []*Packet
+	poolCap int
 
 	// rel is the reliability engine (see reliability.go), nil unless
 	// EnableReliability was called; relErr records its first port
-	// error for cluster.Run to surface.
-	rel    *relState
-	relErr error
+	// error for cluster.Run to surface. relIdle stashes the engine
+	// while a reused cluster runs without faults, so toggling
+	// reliability across Reset cycles does not register fresh daemons.
+	rel     *relState
+	relIdle *relState
+	relErr  error
 
 	stats Stats
 }
 
-// maxPacketPool caps the per-NIC recycled-packet list so a burst does
-// not pin its high-water mark in memory forever.
+// maxPacketPool is the default cap on the per-NIC recycled-packet list,
+// so a burst does not pin its high-water mark in memory forever.
 const maxPacketPool = 256
+
+// SetPacketPoolCap bounds this NIC's recycled-packet list. Cluster
+// construction right-sizes the default for the cluster scale: at 16384
+// nodes the default 256-packet pools could pin four million idle
+// packets. Pool hits and misses never touch virtual time, so the cap is
+// invisible to simulation results.
+func (n *NIC) SetPacketPoolCap(c int) {
+	if c < 4 {
+		c = 4
+	}
+	n.poolCap = c
+	if len(n.pfree) > c {
+		for i := c; i < len(n.pfree); i++ {
+			n.pfree[i] = nil
+		}
+		n.pfree = n.pfree[:c]
+	}
+}
 
 // GetPacket returns a packet with a zeroed header and a Data buffer of
 // length size, reusing a recycled packet (and its buffer, when large
@@ -174,7 +201,7 @@ func (n *NIC) PutPacket(pkt *Packet) {
 		return
 	}
 	o := pkt.owner
-	if len(o.pfree) >= maxPacketPool {
+	if len(o.pfree) >= o.poolCap {
 		return
 	}
 	data := pkt.Data[:0]
@@ -191,24 +218,74 @@ const DefaultRecvTokens = 256
 
 // NewNIC creates the NIC for one node and starts its control program.
 func NewNIC(k *sim.Kernel, node int, cm model.CostModel, fab *fabric.Fabric) *NIC {
-	n := &NIC{
-		k:          k,
-		node:       node,
-		cm:         cm,
-		fab:        fab,
-		evQ:        sim.NewQueue[nicEvent](fmt.Sprintf("nic%d.ev", node)),
-		hostQ:      sim.NewQueue[*Packet](fmt.Sprintf("nic%d.host", node)),
-		sendTokens: DefaultSendTokens,
-		tokenCond:  sim.NewCond(fmt.Sprintf("nic%d.tokens", node)),
-		recvTokens: DefaultRecvTokens,
-	}
-	fab.Connect(node, func(fr fabric.Frame) {
-		n.evQ.Put(nicEvent{recv: fr.Payload.(*Packet)})
-		n.ctl.Wake()
-	})
-	n.ctl = k.NewDaemon(fmt.Sprintf("lanai%d", node), n.step)
-	n.ctl.SetStatus("ev queue")
+	n := &NIC{}
+	n.init(k, node, cm, fab)
 	return n
+}
+
+// NewNICs creates the NICs of a whole cluster as one slab: one backing
+// allocation for all N NIC structs (queues, conditions and control
+// daemons are embedded by value) instead of N separate ones, which both
+// speeds construction and keeps per-node state contiguous.
+func NewNICs(k *sim.Kernel, cms []model.CostModel, fab *fabric.Fabric) []*NIC {
+	slab := make([]NIC, len(cms))
+	nics := make([]*NIC, len(cms))
+	for i := range slab {
+		slab[i].init(k, i, cms[i], fab)
+		nics[i] = &slab[i]
+	}
+	return nics
+}
+
+// init wires one NIC in place and starts its control program.
+func (n *NIC) init(k *sim.Kernel, node int, cm model.CostModel, fab *fabric.Fabric) {
+	n.k = k
+	n.node = node
+	n.cm = cm
+	n.fab = fab
+	n.evQ.Init(fmt.Sprintf("nic%d.ev", node))
+	n.hostQ.Init(fmt.Sprintf("nic%d.host", node))
+	n.tokenCond.Init(fmt.Sprintf("nic%d.tokens", node))
+	n.sendTokens = DefaultSendTokens
+	n.recvTokens = DefaultRecvTokens
+	n.poolCap = maxPacketPool
+	fab.Connect(node, n.onFrame)
+	k.InitDaemon(&n.ctl, fmt.Sprintf("lanai%d", node), n.step)
+	n.ctl.SetStatus("ev queue")
+}
+
+// onFrame is the fabric delivery sink: the arriving packet enters the
+// control program's event queue.
+func (n *NIC) onFrame(fr fabric.Frame) {
+	n.evQ.Put(nicEvent{recv: fr.Payload.(*Packet)})
+	n.ctl.Wake()
+}
+
+// Reset returns the NIC to its just-built state for a cluster reuse
+// cycle, keeping what is expensive and semantically inert: the packet
+// pool (pool hits never touch virtual time), queue/condition ring
+// capacity, and the registered control daemon (already disarmed by the
+// kernel reset that precedes this call). reliable switches the
+// reliability engine on — with all per-peer state cleared — or stashes
+// it for a later lossy run.
+func (n *NIC) Reset(reliable bool) {
+	n.evQ.Reset()
+	n.hostQ.Reset()
+	n.tokenCond.Reset()
+	n.st = nicIdle
+	n.cur = nicEvent{}
+	n.fw.reset()
+	n.fwIdx = 0
+	n.signalsOn = false
+	n.sigPending = false
+	n.sigTarget = nil
+	n.firmware = nil
+	n.sendTokens = DefaultSendTokens
+	n.recvTokens = DefaultRecvTokens
+	n.stats = Stats{}
+	n.relErr = nil
+	n.setReliability(reliable)
+	n.ctl.SetStatus("ev queue")
 }
 
 // Node returns the node id this NIC serves.

@@ -119,10 +119,52 @@ func (n *NIC) EnableReliability() {
 	if n.rel != nil {
 		return
 	}
+	if n.relIdle != nil {
+		// A reused cluster re-enabling reliability: revive the stashed
+		// engine (its timer daemon is still registered) instead of
+		// registering a second one.
+		n.rel, n.relIdle = n.relIdle, nil
+		n.rel.reset()
+		return
+	}
 	r := &relState{n: n, links: make([]relLink, n.fab.Nodes())}
 	r.d = n.k.NewDaemon(fmt.Sprintf("gmrel%d", n.node), r.step)
 	r.d.SetStatus("rel timers")
 	n.rel = r
+}
+
+// setReliability is the Reset-time toggle: on clears per-peer state (or
+// revives/creates the engine), off stashes the engine so its daemon
+// registration survives for later lossy runs.
+func (n *NIC) setReliability(on bool) {
+	if !on {
+		if n.rel != nil {
+			n.rel.reset()
+			n.relIdle, n.rel = n.rel, nil
+		}
+		return
+	}
+	if n.rel != nil {
+		n.rel.reset()
+		return
+	}
+	n.EnableReliability()
+}
+
+// reset clears every per-peer link, recycling ring entries, and keeps
+// the entry pool and timer-daemon registration. The kernel reset that
+// precedes it already disarmed the daemon's pending step.
+func (r *relState) reset() {
+	for i := range r.links {
+		l := &r.links[i]
+		for j, e := range l.ring {
+			r.putEntry(e)
+			l.ring[j] = nil
+		}
+		*l = relLink{ring: l.ring[:0]}
+	}
+	r.active = r.active[:0]
+	r.d.SetStatus("rel timers")
 }
 
 // ReliabilityEnabled reports whether EnableReliability was called.

@@ -62,16 +62,82 @@ func DefaultCosts() Costs {
 	}
 }
 
+// costTab holds everything derivable once from a (NodeSpec, Costs) pair:
+// clock scale factors, per-byte rates, and the fixed overheads already
+// scaled to this node's clocks. Nodes with identical hardware share one
+// table (see SharedCostModels) — a homogeneous 16384-node cluster builds
+// one, not 16384 — and the hot-path cost queries do no division.
+//
+// Every derived value is computed by exactly the expression the
+// corresponding CostModel method used to evaluate per call, in the same
+// operation order, so precomputation cannot move a result by even one
+// float-rounding step: simulations stay byte-identical.
+type costTab struct {
+	cpuScale   float64 // host-cost multiplier vs the 1 GHz calibration
+	lanaiScale float64 // NIC-cost multiplier vs the 133 MHz calibration
+
+	hostCopyPerByte float64 // ns per copied byte before host scaling
+	pciPerByte      float64 // ns per byte of NIC DMA across this node's PCI bus
+	wirePerByte     float64 // ns per byte of link serialization
+	pinPerKBf       float64 // PinPerKB as float ns
+
+	hostSendOvh   time.Duration
+	hostRecvOvh   time.Duration
+	signalOvh     time.Duration
+	signalIgnored time.Duration
+	pollIter      time.Duration
+	descriptorOvh time.Duration
+	nicPktOvh     time.Duration
+}
+
+func newCostTab(spec NodeSpec, c Costs) *costTab {
+	cpu, lanai := spec.cpuScale(), spec.lanaiScale()
+	return &costTab{
+		cpuScale:        cpu,
+		lanaiScale:      lanai,
+		hostCopyPerByte: float64(time.Second) / (c.HostCopyMBps * 1e6),
+		pciPerByte:      float64(time.Second) / (spec.PCIMBps * 1e6),
+		wirePerByte:     float64(time.Second) / (c.WireMBps * 1e6),
+		pinPerKBf:       float64(c.PinPerKB),
+		hostSendOvh:     dur(c.HostSendOvh, cpu),
+		hostRecvOvh:     dur(c.HostRecvOvh, cpu),
+		signalOvh:       dur(c.SignalOvh, cpu),
+		signalIgnored:   dur(c.SignalIgnored, cpu),
+		pollIter:        dur(c.PollIter, cpu),
+		descriptorOvh:   dur(c.DescriptorOvh, cpu),
+		nicPktOvh:       dur(c.NICPktOvh, lanai),
+	}
+}
+
 // CostModel binds the global cost constants to one node's hardware and
 // answers "how long does operation X take on this node" in virtual time.
+// It is a value type; copies share the derived table.
 type CostModel struct {
 	Spec NodeSpec
 	C    Costs
+	tab  *costTab
 }
 
 // NewCostModel builds a per-node cost model.
 func NewCostModel(spec NodeSpec, c Costs) CostModel {
-	return CostModel{Spec: spec, C: c}
+	return CostModel{Spec: spec, C: c, tab: newCostTab(spec, c)}
+}
+
+// SharedCostModels builds one cost model per node, deduplicating the
+// derived tables across nodes with identical specs: each distinct
+// NodeSpec in specs costs one table, however many nodes carry it.
+func SharedCostModels(specs []NodeSpec, c Costs) []CostModel {
+	cache := make(map[NodeSpec]CostModel, 4)
+	out := make([]CostModel, len(specs))
+	for i, s := range specs {
+		cm, ok := cache[s]
+		if !ok {
+			cm = NewCostModel(s, c)
+			cache[s] = cm
+		}
+		out[i] = cm
+	}
+	return out
 }
 
 // HostCopy returns the time for the host CPU to copy n bytes.
@@ -79,57 +145,44 @@ func (m CostModel) HostCopy(n int) time.Duration {
 	if n <= 0 {
 		return 0
 	}
-	perByte := float64(time.Second) / (m.C.HostCopyMBps * 1e6)
-	return dur(time.Duration(perByte*float64(n)), m.Spec.cpuScale())
+	return dur(time.Duration(m.tab.hostCopyPerByte*float64(n)), m.tab.cpuScale)
 }
 
 // HostSendOvh returns the per-send host library overhead.
-func (m CostModel) HostSendOvh() time.Duration {
-	return dur(m.C.HostSendOvh, m.Spec.cpuScale())
-}
+func (m CostModel) HostSendOvh() time.Duration { return m.tab.hostSendOvh }
 
 // HostRecvOvh returns the per-receive host matching overhead.
-func (m CostModel) HostRecvOvh() time.Duration {
-	return dur(m.C.HostRecvOvh, m.Spec.cpuScale())
-}
+func (m CostModel) HostRecvOvh() time.Duration { return m.tab.hostRecvOvh }
 
 // ReduceOp returns the time to combine n elements of size elemSize bytes
 // with an arithmetic reduction operator.
 func (m CostModel) ReduceOp(n, elemSize int) time.Duration {
 	per := float64(m.C.ReducePerElem) * float64(elemSize) / 8.0
-	return dur(time.Duration(per*float64(n)), m.Spec.cpuScale())
+	return dur(time.Duration(per*float64(n)), m.tab.cpuScale)
 }
 
 // SignalOvh returns the cost of one NIC-raised signal reaching the
 // application: kernel trap, handler dispatch, cache disturbance.
-func (m CostModel) SignalOvh() time.Duration {
-	return dur(m.C.SignalOvh, m.Spec.cpuScale())
-}
+func (m CostModel) SignalOvh() time.Duration { return m.tab.signalOvh }
 
 // SignalIgnoredOvh returns the trap cost of a signal whose handler finds
 // nothing to do because progress was already underway (§V-C: "if a signal
 // happens to occur while progress is already underway, it is simply
 // ignored" — the kernel still delivered it).
-func (m CostModel) SignalIgnoredOvh() time.Duration {
-	return dur(m.C.SignalIgnored, m.Spec.cpuScale())
-}
+func (m CostModel) SignalIgnoredOvh() time.Duration { return m.tab.signalIgnored }
 
 // PollIter returns the cost of one idle pass of the progress engine's
 // poll loop; blocking receives burn this continuously.
-func (m CostModel) PollIter() time.Duration {
-	return dur(m.C.PollIter, m.Spec.cpuScale())
-}
+func (m CostModel) PollIter() time.Duration { return m.tab.pollIter }
 
 // Pin returns the cost of registering n bytes for DMA (rendezvous mode).
 func (m CostModel) Pin(n int) time.Duration {
-	return m.C.PinBase + time.Duration(float64(m.C.PinPerKB)*float64(n)/1024)
+	return m.C.PinBase + time.Duration(m.tab.pinPerKBf*float64(n)/1024)
 }
 
 // DescriptorOvh returns the cost of building and enqueuing one
 // application-bypass reduce descriptor.
-func (m CostModel) DescriptorOvh() time.Duration {
-	return dur(m.C.DescriptorOvh, m.Spec.cpuScale())
-}
+func (m CostModel) DescriptorOvh() time.Duration { return m.tab.descriptorOvh }
 
 // QueueSearch returns the cost of scanning n queue entries while
 // matching a message.
@@ -137,7 +190,7 @@ func (m CostModel) QueueSearch(n int) time.Duration {
 	if n <= 0 {
 		return 0
 	}
-	return dur(time.Duration(int64(m.C.QueueSearchElem)*int64(n)), m.Spec.cpuScale())
+	return dur(time.Duration(int64(m.C.QueueSearchElem)*int64(n)), m.tab.cpuScale)
 }
 
 // NICPkt returns the LANai control-program time to process one packet of
@@ -145,10 +198,9 @@ func (m CostModel) QueueSearch(n int) time.Duration {
 func (m CostModel) NICPkt(n int) time.Duration {
 	dma := time.Duration(0)
 	if n > 0 {
-		perByte := float64(time.Second) / (m.Spec.PCIMBps * 1e6)
-		dma = time.Duration(perByte * float64(n))
+		dma = time.Duration(m.tab.pciPerByte * float64(n))
 	}
-	return dur(m.C.NICPktOvh, m.Spec.lanaiScale()) + dma
+	return m.tab.nicPktOvh + dma
 }
 
 // NICReduceOp returns the LANai control program's time to combine n
@@ -157,12 +209,11 @@ func (m CostModel) NICPkt(n int) time.Duration {
 // further scaled by the NIC clock.
 func (m CostModel) NICReduceOp(n, elemSize int) time.Duration {
 	per := float64(m.C.ReducePerElem) * float64(elemSize) / 8.0 * m.C.NICComputeFactor
-	return dur(time.Duration(per*float64(n)), m.Spec.lanaiScale())
+	return dur(time.Duration(per*float64(n)), m.tab.lanaiScale)
 }
 
 // WireTime returns link serialization plus propagation for n bytes on
 // one hop (switch latency is charged separately by the fabric).
 func (m CostModel) WireTime(n int) time.Duration {
-	perByte := float64(time.Second) / (m.C.WireMBps * 1e6)
-	return m.C.WireProp + time.Duration(perByte*float64(n))
+	return m.C.WireProp + time.Duration(m.tab.wirePerByte*float64(n))
 }

@@ -33,7 +33,12 @@ func (pr *Process) Isend(a SendArgs) *Request {
 	n := len(a.Data)
 	if n <= pr.CM.C.EagerThreshold {
 		pr.eagerSend(a, n)
-		return &Request{pr: pr, kind: reqSendEager, done: true, dst: a.Dst}
+		// The send is already complete (payload copied into the bounce
+		// pool), so the shared pre-completed handle serves every caller:
+		// Wait is a no-op and SetOnComplete fires immediately on a done
+		// request, neither retains the handle.
+		pr.eagerDone = Request{pr: pr, kind: reqSendEager, done: true, dst: a.Dst}
+		return &pr.eagerDone
 	}
 
 	// Rendezvous mode: pin in place, announce, wait for clear-to-send.

@@ -70,6 +70,19 @@ type Process struct {
 	// buffers; an entry dies as soon as a matching receive consumes it.
 	umsgFree []*uMsg
 
+	// bufFree recycles the collective layers' scratch buffers
+	// (accumulators, receive temporaries, barrier tokens) whose lifetime
+	// never escapes one call. Only buffers whose bytes are out of the
+	// simulation may be returned: eager sends copy synchronously, but a
+	// rendezvous data packet aliases the send buffer until delivery.
+	bufFree [][]byte
+
+	// eagerDone is the completion handle shared by every eager Isend:
+	// the operation is already complete when Isend returns and callers
+	// only observe done==true, so one per-process handle serves all of
+	// them without a steady-state allocation.
+	eagerDone Request
+
 	Stats ProcStats
 }
 
@@ -120,6 +133,33 @@ func (pr *Process) putUMsg(m *uMsg) {
 	}
 }
 
+// maxBufPool caps the recycled scratch buffers per process; the
+// collective layers hold at most two at a time.
+const maxBufPool = 8
+
+// GetBuf returns an n-byte scratch buffer with unspecified contents;
+// callers must fully overwrite it before the bytes can matter.
+func (pr *Process) GetBuf(n int) []byte {
+	for i := len(pr.bufFree) - 1; i >= 0; i-- {
+		if b := pr.bufFree[i]; cap(b) >= n {
+			last := len(pr.bufFree) - 1
+			pr.bufFree[i] = pr.bufFree[last]
+			pr.bufFree[last] = nil
+			pr.bufFree = pr.bufFree[:last]
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// PutBuf returns a scratch buffer to the pool. Never pass a buffer a
+// rendezvous send may still alias (see bufFree).
+func (pr *Process) PutBuf(b []byte) {
+	if cap(b) > 0 && len(pr.bufFree) < maxBufPool {
+		pr.bufFree = append(pr.bufFree, b)
+	}
+}
+
 // NewProcess builds rank `rank` of `size` on the given NIC. It pins the
 // eager bounce-buffer pool, charging the one-time registration cost.
 func NewProcess(p *sim.Proc, rank, size int, nic *gm.NIC, cm model.CostModel) *Process {
@@ -140,6 +180,32 @@ func NewProcess(p *sim.Proc, rank, size int, nic *gm.NIC, cm model.CostModel) *P
 // Rebind attaches the process to a new simulated proc; used when a
 // cluster runs several programs back to back, each with fresh procs.
 func (pr *Process) Rebind(p *sim.Proc) { pr.P = p }
+
+// Reset returns the process to its just-built state for a cluster reuse
+// run, attached to proc p. It must mirror NewProcess exactly — the same
+// zeroed queues and maps, and the same eager bounce-buffer Pin charging
+// the same syscall cost to p — so a reused cluster's first virtual-time
+// charges are byte-identical to a fresh one's. Request/uMsg/scratch
+// pools keep their capacity: pool hits never touch virtual time.
+func (pr *Process) Reset(p *sim.Proc) {
+	pr.P = p
+	for i := range pr.posted {
+		pr.posted[i] = nil
+	}
+	pr.posted = pr.posted[:0]
+	for i := range pr.unexpected {
+		pr.unexpected[i] = nil
+	}
+	pr.unexpected = pr.unexpected[:0]
+	clear(pr.sendRv)
+	clear(pr.recvRv)
+	pr.nextHandle = 0
+	pr.abHook = nil
+	pr.eagerDone = Request{}
+	pr.Stats = ProcStats{}
+	pr.Mem.Reset()
+	pr.eagerPool = pr.Mem.Pin(p, 64*pr.CM.C.EagerThreshold)
+}
 
 // Rank returns this process's rank in the world.
 func (pr *Process) Rank() int { return pr.rank }

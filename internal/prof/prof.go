@@ -1,0 +1,48 @@
+// Package prof wires the standard runtime/pprof file profiles into the
+// benchmark commands (-cpuprofile / -memprofile), so hot-path work on
+// the simulator can be driven by profiles instead of guesses.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile to cpuPath and arranges a heap profile to
+// memPath; either may be empty to disable that profile. The returned
+// stop function must be called exactly once before process exit: it
+// stops the CPU profile and writes the heap profile (after a GC, so the
+// snapshot shows live memory rather than garbage).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}

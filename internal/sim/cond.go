@@ -11,7 +11,28 @@ type Cond struct {
 }
 
 // NewCond returns a condition; name appears in deadlock reports.
-func NewCond(name string) *Cond { return &Cond{name: name, where: "cond " + name} }
+func NewCond(name string) *Cond {
+	c := &Cond{}
+	c.Init(name)
+	return c
+}
+
+// Init initializes c in place, the slab-friendly form of NewCond for
+// conditions embedded by value in larger per-node structures.
+func (c *Cond) Init(name string) {
+	c.name = name
+	c.where = "cond " + name
+}
+
+// Reset drops all waiters, keeping the buffer capacity. The caller must
+// ensure no parked process still expects a Broadcast (cluster reset
+// kills leftover processes first).
+func (c *Cond) Reset() {
+	for i := range c.waiters {
+		c.waiters[i] = nil
+	}
+	c.waiters = c.waiters[:0]
+}
 
 // Wait parks p until the next Broadcast.
 func (c *Cond) Wait(p *Proc) {

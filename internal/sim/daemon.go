@@ -43,12 +43,22 @@ type Daemon struct {
 // runs until Wake is called. Daemons never keep the simulation alive —
 // like Spawn+SetDaemon(true) processes, they are background services.
 func (k *Kernel) NewDaemon(name string, step func()) *Daemon {
+	d := &Daemon{}
+	k.InitDaemon(d, name, step)
+	return d
+}
+
+// InitDaemon initializes d in place and registers it with the kernel,
+// the slab-friendly form of NewDaemon for daemons embedded by value in
+// larger per-node structures. Registered daemons survive Kernel.Reset
+// (which disarms any pending step), so a reused cluster keeps its
+// control programs.
+func (k *Kernel) InitDaemon(d *Daemon, name string, step func()) {
 	if k.shutdown {
 		panic("sim: NewDaemon after Shutdown")
 	}
-	d := &Daemon{k: k, name: name, step: step}
+	*d = Daemon{k: k, name: name, step: step}
 	k.daemons = append(k.daemons, d)
-	return d
 }
 
 // Name returns the name given at NewDaemon.

@@ -42,6 +42,7 @@ type Kernel struct {
 	nexec     uint64 // events executed since New
 
 	procs   map[int]*Proc
+	pfree   []*Proc // recycled Proc structs and their channel pairs
 	daemons []*Daemon
 	nextID  int
 	running *Proc // proc currently executing, nil while in scheduler
@@ -117,12 +118,23 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		panic("sim: Spawn after Shutdown")
 	}
 	k.nextID++
-	p := &Proc{
-		k:      k,
-		id:     k.nextID,
-		name:   name,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
+	var p *Proc
+	if n := len(k.pfree); n > 0 {
+		// Reuse a finished process's struct and channel pair (the old
+		// goroutine is gone; a fresh one blocks on the same channels).
+		p = k.pfree[n-1]
+		k.pfree[n-1] = nil
+		k.pfree = k.pfree[:n-1]
+		*p = Proc{k: k, id: k.nextID, name: name,
+			resume: p.resume, parked: p.parked, intr: p.intr[:0]}
+	} else {
+		p = &Proc{
+			k:      k,
+			id:     k.nextID,
+			name:   name,
+			resume: make(chan struct{}),
+			parked: make(chan struct{}),
+		}
 	}
 	k.procs[p.id] = p
 	k.ndCount++
@@ -130,6 +142,20 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	go p.run(fn)
 	k.scheduleWake(k.now, p)
 	return p
+}
+
+// releaseProc returns a finished process's struct (and channel pair) to
+// the spawn pool. Pooling is skipped while a wake event is still
+// pending: a stale wake finding the struct reincarnated as a different
+// process would resume it spuriously, so such structs are simply left
+// for the GC. (In practice a process that ran to completion has no
+// pending wake — wakeAt is the sole scheduler of proc events and the
+// wake clears when it fires.)
+func (k *Kernel) releaseProc(p *Proc) {
+	if p.wake.valid() {
+		return
+	}
+	k.pfree = append(k.pfree, p)
 }
 
 // dispatch outcomes: the loop went quiet (queue drained, Stop, panic
@@ -277,11 +303,65 @@ func (k *Kernel) Shutdown() {
 	k.ndCount = 0
 	k.events = nil
 	k.free = nil
+	k.pfree = nil
 	k.daemons = nil
 	k.ncanceled = 0
 	k.stopped = true
 	k.shutdown = true
 }
+
+// Reset returns the kernel to its just-built state under a new seed,
+// keeping allocated capacity: the event and proc free lists and the
+// registered callback daemons all survive, so a pooled cluster re-runs
+// a program without rebuilding its machinery. Any process still alive
+// (parked by Stop, or abandoned when Run went quiet) is killed exactly
+// as Shutdown kills it. Unlike Shutdown the kernel is fully usable
+// afterwards, and the reset state is indistinguishable from New(seed):
+// the clock, event sequence, executed-event counter and RNG stream
+// numbering all restart from zero, which is what makes a reused cluster
+// byte-identical to a freshly built one.
+func (k *Kernel) Reset(seed int64) {
+	if k.running != nil {
+		panic("sim: Reset from inside a running process")
+	}
+	for id, p := range k.procs {
+		if !p.done {
+			p.killed = true
+			p.resume <- struct{}{}
+			<-p.parked
+		}
+		delete(k.procs, id)
+	}
+	for i, ev := range k.events {
+		ev.index = -1
+		k.recycle(ev)
+		k.events[i] = nil
+	}
+	k.events = k.events[:0]
+	for _, d := range k.daemons {
+		d.scheduled = false
+		d.at = 0
+		d.ref = evref{}
+		d.status = ""
+	}
+	k.now = 0
+	k.seq = 0
+	k.ncanceled = 0
+	k.nexec = 0
+	k.nextID = 0
+	k.ndCount = 0
+	k.ndEver = false
+	k.stopped = false
+	k.panicked = nil
+	k.seed = seed
+	k.rng = rand.New(rand.NewSource(seed))
+	k.nstream = 0
+}
+
+// maxStuckLines caps the per-process detail in a deadlock report. At
+// 16384 nodes an uncapped report would build tens of thousands of lines
+// before panicking; the first few plus a count diagnose just as well.
+const maxStuckLines = 32
 
 // stuckReport lists live non-daemon processes, why they are parked and
 // for how long, followed by a summary of parked daemon processes and
@@ -296,6 +376,7 @@ func (k *Kernel) stuckReport() string {
 	var b strings.Builder
 	daemons := 0
 	var dsample []string
+	shown, omitted := 0, 0
 	for _, id := range ids {
 		p := k.procs[id]
 		if p.daemon {
@@ -305,7 +386,15 @@ func (k *Kernel) stuckReport() string {
 			}
 			continue
 		}
+		if shown >= maxStuckLines {
+			omitted++
+			continue
+		}
+		shown++
 		fmt.Fprintf(&b, "  proc %d %q parked on %q for %v\n", p.id, p.name, p.reason, k.now-p.parkedAt)
+	}
+	if omitted > 0 {
+		fmt.Fprintf(&b, "  (+%d more procs parked)\n", omitted)
 	}
 	if daemons > 0 {
 		suffix := ""

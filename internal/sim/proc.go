@@ -101,6 +101,10 @@ func (p *Proc) run(fn func(p *Proc)) {
 			k.panicked = p.panicked
 		}
 		k.running = nil
+		// The struct is dead from here on: pool it for the next Spawn
+		// before this goroutine drives the event loop onward (which may
+		// itself Spawn and reincarnate it on a fresh goroutine).
+		k.releaseProc(p)
 		k.handoff(nil)
 	}()
 	<-p.resume

@@ -27,7 +27,33 @@ type Queue[T any] struct {
 
 // NewQueue returns an empty queue; name appears in deadlock reports.
 func NewQueue[T any](name string) *Queue[T] {
-	return &Queue[T]{name: name, where: "queue " + name}
+	q := &Queue[T]{}
+	q.Init(name)
+	return q
+}
+
+// Init initializes q in place, the slab-friendly form of NewQueue for
+// queues embedded by value in larger per-node structures.
+func (q *Queue[T]) Init(name string) {
+	q.name = name
+	q.where = "queue " + name
+}
+
+// Reset empties the queue — items and waiters both — keeping ring
+// capacity for reuse. The caller must ensure no parked process still
+// expects a wake from this queue (cluster reset kills leftover
+// processes first).
+func (q *Queue[T]) Reset() {
+	var zero T
+	for i := 0; i < q.n; i++ {
+		q.items[(q.head+i)%len(q.items)] = zero
+	}
+	q.head, q.n = 0, 0
+	for i := range q.waiters {
+		q.waiters[i] = nil
+	}
+	q.whead, q.wcount = 0, 0
+	q.wheadPos, q.wnextPos = 0, 0
 }
 
 // Len returns the number of queued items.

@@ -48,6 +48,12 @@ type Perf struct {
 	JobWall time.Duration // sum of per-job wall-clock (serial equivalent)
 	Events  uint64        // simulated events across all jobs
 	Allocs  uint64        // heap allocations during the sweep (all workers)
+
+	// HeapPeak is the largest live-heap sample observed while the sweep
+	// ran (HeapAlloc, sampled every 25 ms plus once at each end). It
+	// bounds the sweep's real memory footprint — the number that decides
+	// whether a 16384-node point fits on the machine at all.
+	HeapPeak uint64
 }
 
 // Speedup is the sweep's parallel speedup: serial-equivalent time over
@@ -123,6 +129,28 @@ func (s Sweep[T]) Run(workers int) *Result[T] {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	mallocs0 := ms.Mallocs
+	heapPeak := ms.HeapAlloc
+	stopWatch := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		// Low-rate sampler; 25 ms catches every grid cell that lives
+		// long enough to matter while costing the workers nothing.
+		defer close(watchDone)
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		var wms runtime.MemStats
+		for {
+			select {
+			case <-stopWatch:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&wms)
+				if wms.HeapAlloc > heapPeak {
+					heapPeak = wms.HeapAlloc
+				}
+			}
+		}
+	}()
 	start := time.Now()
 	if workers <= 1 {
 		for i := range s.Jobs {
@@ -147,8 +175,14 @@ func (s Sweep[T]) Run(workers int) *Result[T] {
 		wg.Wait()
 	}
 	perf := Perf{Name: s.Name, Jobs: len(s.Jobs), Workers: workers, Wall: time.Since(start)}
+	close(stopWatch)
+	<-watchDone
 	runtime.ReadMemStats(&ms)
 	perf.Allocs = ms.Mallocs - mallocs0
+	if ms.HeapAlloc > heapPeak {
+		heapPeak = ms.HeapAlloc
+	}
+	perf.HeapPeak = heapPeak
 	for i := range points {
 		perf.JobWall += points[i].Wall
 		perf.Events += points[i].Events
