@@ -16,14 +16,17 @@ test:
 # Regenerate every figure on a full worker pool and record the sweep's
 # execution metrics (wall-clock, speedup, events/sec) in BENCH_sweep.json,
 # then run the large-scale projection — the standard 32–1024 grid plus
-# the 2048–16384 scaling envelope — and record kernel performance
-# (events/sec, allocs/event, peak heap, microbenchmark and sweep numbers
-# vs. the recorded pre-overhaul baselines) in BENCH_kernel.json. Both
-# commands draw clusters from the reuse pool (-reuse, on by default).
+# the 2048–16384 scaling envelope and the 1024–16384 crossbar-vs-fat-tree
+# topology sweep — and record kernel performance (events/sec,
+# allocs/event, peak heap, microbenchmark and sweep numbers vs. the
+# recorded pre-overhaul baselines) plus the topology table in
+# BENCH_kernel.json. Both commands draw clusters from the reuse pool
+# (-reuse, on by default).
 .PHONY: bench
 bench:
 	go run ./cmd/abbench -fig all -ablations -parallel 0 -sweepjson BENCH_sweep.json
-	go run ./cmd/abscale -sizes 32,128,512,1024 -iters 100 -parallel 0 -csv -benchjson BENCH_kernel.json
+	go run ./cmd/abscale -sizes 32,128,512,1024 -iters 100 -parallel 0 \
+		-toposizes 1024,2048,4096,8192,16384 -topoiters 6 -csv -benchjson BENCH_kernel.json
 
 # Profile the scaling sweep: CPU and heap profiles of the standard grid,
 # ready for `go tool pprof abscale.cpu.pprof`.

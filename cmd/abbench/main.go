@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	abbench [-fig 6|7|8|9|10|loss|all] [-ablations] [-iters N] [-seed N]
-//	        [-loss P] [-faultseed N] [-parallel N] [-reuse=bool]
+//	abbench [-fig 6|7|8|9|10|loss|topo|all] [-ablations] [-iters N] [-seed N]
+//	        [-loss P] [-faultseed N] [-topo SPEC] [-parallel N] [-reuse=bool]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-csv] [-sweepjson FILE]
 //
 // Each figure prints as an aligned table; -csv switches to CSV for
@@ -23,6 +23,12 @@
 // fault stream (same seed, same drops — independent of -seed). -fig
 // loss runs the ab-vs-nab loss sweep over the paper's 0.1–5% range
 // instead of a uniform rate.
+//
+// -topo SPEC (crossbar, fattree:K or leafspine:R) replaces the ideal
+// single crossbar with a routed multi-stage fabric for every figure;
+// frames pay per-hop latency and queue at shared uplinks. -fig topo
+// runs the crossbar-vs-fat-tree comparison sweep instead, including
+// bypass with the topology-aware reduction tree.
 //
 // -reuse (on by default) draws simulated clusters from a reuse pool
 // instead of rebuilding one per grid cell; printed tables are
@@ -43,6 +49,7 @@ import (
 	"abred/internal/fault"
 	"abred/internal/prof"
 	"abred/internal/sweep"
+	"abred/internal/topo"
 )
 
 // sweepEntry is one figure's execution record in BENCH_sweep.json.
@@ -71,12 +78,13 @@ func entry(p sweep.Perf) sweepEntry {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, loss or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, loss, topo or all")
 	ablations := flag.Bool("ablations", false, "also run the delay-heuristic and NIC-reduction studies")
 	iters := flag.Int("iters", 200, "benchmark iterations per data point")
 	seed := flag.Int64("seed", 20030701, "simulation seed (results are exactly reproducible per seed)")
 	loss := flag.Float64("loss", 0, "frame-drop probability on every link (enables GM reliable delivery)")
 	faultSeed := flag.Int64("faultseed", 0, "seed of the dedicated fault-decision stream")
+	topoFlag := flag.String("topo", "crossbar", "interconnect: crossbar, fattree:K or leafspine:R")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	reuse := flag.Bool("reuse", true, "reuse built clusters across grid cells (pool + Reset)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -86,6 +94,11 @@ func main() {
 	flag.Parse()
 	if *loss < 0 || *loss >= 1 {
 		fmt.Fprintf(os.Stderr, "abbench: -loss %v outside [0, 1)\n", *loss)
+		os.Exit(2)
+	}
+	topoSpec, err := topo.ParseSpec(*topoFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abbench: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -102,7 +115,7 @@ func main() {
 		defer pool.Drain()
 	}
 
-	o := bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel, Pool: pool,
+	o := bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel, Pool: pool, Topo: topoSpec,
 		Fault: fault.Config{Seed: *faultSeed, Rule: fault.Rule{Drop: *loss}}}
 
 	var entries []sweepEntry
@@ -149,8 +162,23 @@ func main() {
 			bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel, Pool: pool}))
 		ran++
 	}
+	if *fig == "topo" {
+		// The sweep sets its own per-job topologies (crossbar baseline in
+		// half its cells), so a routed -topo would be contradictory here;
+		// it picks the comparison fabric instead. The default is radix 6
+		// (3 hosts per leaf): with a power-of-two radix the binomial tree
+		// is already leaf-aligned and the topology-aware tree changes
+		// nothing, so an odd group width is the interesting case.
+		ft := topoSpec
+		if ft.Kind == topo.Crossbar {
+			ft = topo.Spec{Kind: topo.FatTree, K: 6}
+		}
+		emit(bench.TopoSweep([]int{32, 64, 128}, ft, 500*time.Microsecond, 4,
+			bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel, Pool: pool}))
+		ran++
+	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "abbench: unknown figure %q (want 6, 7, 8, 9, 10, loss or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "abbench: unknown figure %q (want 6, 7, 8, 9, 10, loss, topo or all)\n", *fig)
 		os.Exit(2)
 	}
 

@@ -12,6 +12,7 @@
 //
 //	abscale [-max N | -sizes 32,128,512,1024] [-count N] [-iters N]
 //	        [-bigsizes 2048,4096,8192,16384] [-bigiters N] [-reuse=bool]
+//	        [-toposizes 1024,...,16384] [-topoiters N] [-topo SPEC]
 //	        [-seed N] [-skew D] [-loss P] [-faultseed N] [-parallel N]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-csv] [-benchjson FILE]
 //
@@ -20,10 +21,16 @@
 // cluster from scratch instead of drawing from the reuse pool (results
 // are byte-identical either way; only wall clock and allocations move).
 // -loss P drops each frame with probability P (switching GM to reliable
-// delivery); -faultseed seeds the dedicated fault stream. -benchjson
-// records the kernel's execution metrics — events/sec, allocs/event and
-// peak heap for each sweep, plus the fixed 32-node kernel microbenchmark
-// and the standard grid's pre-reuse baseline — to FILE (the committed
+// delivery); -faultseed seeds the dedicated fault stream.
+//
+// -toposizes enables the topology sweep at those node counts: the
+// paper's ideal crossbar versus the routed fabric named by -topo
+// (default fattree:16), where frames pay per-hop cut-through latency
+// and queue at shared uplinks, plus bypass with the topology-aware
+// reduction tree. -benchjson records the kernel's execution metrics —
+// events/sec, allocs/event and peak heap for each sweep, plus the fixed
+// 32-node kernel microbenchmark, the standard grid's pre-reuse baseline
+// and the topology-sweep table — to FILE (the committed
 // BENCH_kernel.json is produced this way via make bench).
 package main
 
@@ -41,6 +48,7 @@ import (
 	"abred/internal/fault"
 	"abred/internal/prof"
 	"abred/internal/sweep"
+	"abred/internal/topo"
 )
 
 // perfEntry is one sweep's execution record in -benchjson output.
@@ -100,6 +108,9 @@ func main() {
 	iters := flag.Int("iters", 100, "iterations per data point")
 	bigSizes := flag.String("bigsizes", "2048,4096,8192,16384", "large-N grid node counts (\"\" skips it)")
 	bigIters := flag.Int("bigiters", 12, "iterations per large-N data point")
+	topoSizes := flag.String("toposizes", "", "topology-sweep node counts (\"\" skips it)")
+	topoIters := flag.Int("topoiters", 6, "iterations per topology-sweep data point")
+	topoFlag := flag.String("topo", "fattree:16", "routed fabric the topology sweep compares against the crossbar")
 	reuse := flag.Bool("reuse", true, "reuse built clusters across grid cells (pool + Reset)")
 	seed := flag.Int64("seed", 20030701, "simulation seed")
 	skew := flag.Duration("skew", time.Millisecond, "maximum skew for the skewed sweep")
@@ -164,12 +175,47 @@ func main() {
 		runGrid("large-n ", big, *bigIters)
 	}
 
+	var topoDoc *topoSweepDoc
+	if ts := parseSizes("-toposizes", *topoSizes); len(ts) > 0 {
+		ft, err := topo.ParseSpec(*topoFlag)
+		if err != nil || ft.Kind == topo.Crossbar {
+			fmt.Fprintf(os.Stderr, "abscale: -topo %q is not a routed fabric\n", *topoFlag)
+			os.Exit(2)
+		}
+		t := bench.TopoSweep(ts, ft, *skew, *count,
+			bench.Opts{Iters: *topoIters, Seed: *seed, Workers: *parallel, Pool: pool,
+				Fault: fault.Config{Seed: *faultSeed, Rule: fault.Rule{Drop: *loss}}})
+		t.Title = fmt.Sprintf("%s (max skew %v, %d elements, %d iters)", t.Title, *skew, *count, *topoIters)
+		if *csv {
+			t.WriteCSV(os.Stdout)
+			fmt.Println()
+		} else {
+			t.Write(os.Stdout)
+		}
+		entries = append(entries, entry("topo", ts, *topoIters, *reuse, t.Perf))
+		topoDoc = &topoSweepDoc{Fabric: ft.String(), MaxSkew: skew.String(), Elements: *count,
+			Iters: *topoIters, Cols: t.Cols, Nodes: ts, Rows: t.Rows}
+	}
+
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, sizes, *iters, entries); err != nil {
+		if err := writeBenchJSON(*benchJSON, sizes, *iters, entries, topoDoc); err != nil {
 			fmt.Fprintf(os.Stderr, "abscale: %v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// topoSweepDoc is the topology sweep's record in -benchjson output: the
+// full crossbar-vs-fat-tree table, so the committed BENCH_kernel.json
+// carries the hop-latency and uplink-contention numbers.
+type topoSweepDoc struct {
+	Fabric   string      `json:"fabric"`
+	MaxSkew  string      `json:"max_skew"`
+	Elements int         `json:"elements"`
+	Iters    int         `json:"iters"`
+	Cols     []string    `json:"cols"`
+	Nodes    []int       `json:"nodes"`
+	Rows     [][]float64 `json:"rows"`
 }
 
 // sameSizes reports whether two size grids are identical.
@@ -188,7 +234,7 @@ func sameSizes(a, b []int) bool {
 // writeBenchJSON records the scaling sweeps' execution metrics plus the
 // fixed kernel microbenchmark, side by side with the recorded
 // pre-overhaul kernel baseline and the pre-reuse sweep baseline.
-func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry) error {
+func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, topoDoc *topoSweepDoc) error {
 	micro := bench.KernelMicrobench(bench.AppBypass, 50, 20030701)
 	microNab := bench.KernelMicrobench(bench.NonAppBypass, 50, 20030701)
 	doc := struct {
@@ -218,9 +264,10 @@ func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry) er
 		SweepWallSpeedup    float64 `json:"sweep_wall_speedup_vs_baseline,omitempty"`
 		SweepAllocReduction float64 `json:"sweep_alloc_reduction_vs_baseline,omitempty"`
 
-		ScalingPerf []perfEntry `json:"scaling_sweeps"`
+		ScalingPerf []perfEntry   `json:"scaling_sweeps"`
+		TopoSweep   *topoSweepDoc `json:"topo_sweep,omitempty"`
 	}{Workload: "32-node Fig. 6 CPU-utilization workload (count=4, skew=1ms, iters=50, seed=20030701)",
-		Sizes: sizes, Iters: iters, Micro: micro, MicroNab: microNab, ScalingPerf: entries}
+		Sizes: sizes, Iters: iters, Micro: micro, MicroNab: microNab, ScalingPerf: entries, TopoSweep: topoDoc}
 	doc.Baseline.EventsPerSec = bench.BaselineEventsPerSec
 	doc.Baseline.AllocsPerEvent = bench.BaselineAllocsPerEvent
 	if doc.Baseline.EventsPerSec > 0 {

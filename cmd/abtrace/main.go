@@ -14,9 +14,11 @@ import (
 
 	"abred/internal/cluster"
 	"abred/internal/coll"
+	"abred/internal/fabric"
 	"abred/internal/model"
 	"abred/internal/mpi"
 	"abred/internal/sim"
+	"abred/internal/topo"
 	"abred/internal/trace"
 )
 
@@ -24,7 +26,15 @@ func main() {
 	lateBy := flag.Duration("late", 250*time.Microsecond, "how late node 3 enters the reduction")
 	width := flag.Int("width", 96, "timeline width in characters")
 	count := flag.Int("count", 4, "message elements (double words)")
+	topoFlag := flag.String("topo", "crossbar", "interconnect: crossbar, fattree:K or leafspine:R")
+	jsonPath := flag.String("json", "", "also write the bypass run as Chrome trace-event JSON\n(open in chrome://tracing; includes per-hop fabric spans on routed topologies)")
 	flag.Parse()
+
+	spec, err := topo.ParseSpec(*topoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abtrace:", err)
+		os.Exit(2)
+	}
 
 	for _, ab := range []bool{false, true} {
 		name := "(a) Non-Application-Bypass"
@@ -32,14 +42,37 @@ func main() {
 			name = "(b) Application-Bypass"
 		}
 		fmt.Printf("%s — node 3 enters %v late\n", name, *lateBy)
-		runOnce(ab, *lateBy, *count, *width)
+		rec := runOnce(ab, *lateBy, *count, *width, spec)
 		fmt.Println()
+		if ab && *jsonPath != "" {
+			if err := writeChromeFile(*jsonPath, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "abtrace:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote Chrome trace to %s (%d spans, %d fabric hops)\n",
+				*jsonPath, len(rec.Spans), len(rec.Hops))
+		}
 	}
 }
 
-func runOnce(ab bool, lateBy time.Duration, count, width int) {
+func writeChromeFile(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runOnce(ab bool, lateBy time.Duration, count, width int, spec topo.Spec) *trace.Recorder {
 	rec := &trace.Recorder{}
-	cl := cluster.New(cluster.Config{Specs: model.Uniform(4), Seed: 2003})
+	cl := cluster.New(cluster.Config{Specs: model.Uniform(4), Seed: 2003, Topo: spec})
+	cl.Fabric.OnHop = func(fr fabric.Frame, link int32, start, end sim.Time) {
+		rec.AddHop(fr.Src, fr.Dst, link, start, end)
+	}
 	cl.Run(func(n *cluster.Node, w *mpi.Comm) {
 		node := n.ID
 		n.Engine.SetTrace(func(kind byte, start, end sim.Time) {
@@ -68,4 +101,5 @@ func runOnce(ab bool, lateBy time.Duration, count, width int) {
 		rec.Add(n.ID, trace.KindCompute, t1, n.Proc.Now(), "compute")
 	})
 	rec.Render(os.Stdout, 4, width)
+	return rec
 }

@@ -31,6 +31,7 @@ import (
 	"abred/internal/mpi"
 	"abred/internal/sim"
 	"abred/internal/stats"
+	"abred/internal/topo"
 )
 
 // Mode selects the reduction implementation under test.
@@ -72,6 +73,17 @@ type Config struct {
 	// value keeps the fabric perfect.
 	Fault fault.Config
 
+	// Topo selects the interconnect; the zero value is the historical
+	// single crossbar.
+	Topo topo.Spec
+
+	// TopoAware builds a topology-aware reduction tree (coll.TopoTree)
+	// and installs it on every engine, so AppBypass clusters children
+	// under their leaf switch before crossing uplinks. Ignored on the
+	// crossbar (one switch — there is no hierarchy to exploit) and in
+	// NonAppBypass mode.
+	TopoAware bool
+
 	// RendezvousAB opts the engines into the §V-B large-message bypass
 	// extension (AppBypass mode only).
 	RendezvousAB bool
@@ -98,7 +110,7 @@ func (c *Config) acquire() (*cluster.Cluster, func()) {
 
 // clusterConfig assembles the cluster construction parameters.
 func (c *Config) clusterConfig() cluster.Config {
-	cc := cluster.Config{Specs: c.Specs, Seed: c.Seed, Fault: c.Fault}
+	cc := cluster.Config{Specs: c.Specs, Seed: c.Seed, Fault: c.Fault, Topo: c.Topo}
 	if c.Costs != nil {
 		cc.Costs = *c.Costs
 	}
@@ -154,6 +166,12 @@ type CPUUtilResult struct {
 	Signals uint64    // total signals handled across the cluster
 	Events  uint64    // simulated events executed (simulation cost)
 	Rel     RelTotals // fault/reliability activity (zero on a clean fabric)
+
+	// Uplink contention on a routed topology, zero on the crossbar:
+	// link occupancies that queued behind a busy inter-switch link, and
+	// the total time so spent.
+	LinkWaits uint64
+	LinkWait  sim.Time
 }
 
 // CPUUtil runs the CPU-utilization microbenchmark.
@@ -190,12 +208,22 @@ func CPUUtil(cfg Config) CPUUtilResult {
 	perNode := make([]sim.Time, size)
 	var signals uint64
 
+	// The hierarchy-aware tree is a pure function of (size, root, leaf
+	// assignment); built once, shared read-only by every rank.
+	var tree *coll.TopoTree
+	if cfg.TopoAware && cfg.Mode == AppBypass && cl.Topo.Levels() > 1 {
+		tree = coll.NewTopoTree(size, cfg.Root, cl.Topo.Leaf)
+	}
+
 	cl.Run(func(n *cluster.Node, w *mpi.Comm) {
 		if cfg.Mode == AppBypass && cfg.Delay != nil {
 			n.Engine.SetDelayPolicy(cfg.Delay)
 		}
 		if cfg.Mode == AppBypass && cfg.RendezvousAB {
 			n.Engine.EnableRendezvousAB()
+		}
+		if tree != nil {
+			n.Engine.SetTopoTree(tree)
 		}
 		in := make([]byte, cfg.Count*8)
 		for i := 0; i < cfg.Count; i++ {
@@ -222,13 +250,16 @@ func CPUUtil(cfg Config) CPUUtilResult {
 	for _, c := range perNode {
 		total += c
 	}
+	waits, waitTime := cl.Fabric.TopoStats()
 	return CPUUtilResult{
-		AvgCPU:  total / sim.Time(size),
-		PerNode: perNode,
-		Summary: stats.Summarize(perNode),
-		Signals: signals,
-		Events:  cl.K.Events(),
-		Rel:     relTotals(cl),
+		AvgCPU:    total / sim.Time(size),
+		PerNode:   perNode,
+		Summary:   stats.Summarize(perNode),
+		Signals:   signals,
+		Events:    cl.K.Events(),
+		Rel:       relTotals(cl),
+		LinkWaits: waits,
+		LinkWait:  waitTime,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"abred/internal/model"
 	"abred/internal/sim"
 	"abred/internal/sweep"
+	"abred/internal/topo"
 )
 
 // This file regenerates every figure of the paper's evaluation (§VI).
@@ -38,6 +39,11 @@ type Opts struct {
 	// removes nearly all construction cost from a figure run without
 	// changing a byte of its table.
 	Pool *cluster.Pool
+
+	// Topo selects the interconnect for every simulated cluster (the
+	// -topo flag); the zero value is the historical single crossbar,
+	// under which every figure reproduces byte-identically.
+	Topo topo.Spec
 }
 
 func (o Opts) withDefaults() Opts {
@@ -209,7 +215,7 @@ func Fig6(o Opts) *Table {
 		xs[i] = us(s)
 	}
 	return cpuGrid(t, "fig6", xs, counts, func(xi, count int, mode Mode) Config {
-		return Config{Specs: specs, Count: count, Mode: mode, MaxSkew: skews[xi], Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault}
+		return Config{Specs: specs, Count: count, Mode: mode, MaxSkew: skews[xi], Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Topo: o.Topo}
 	}, o)
 }
 
@@ -230,7 +236,7 @@ func Fig7(o Opts) *Table {
 	sizes := PaperSizes()
 	return cpuGrid(t, "fig7", floats(sizes), counts, func(xi, count int, mode Mode) Config {
 		return Config{Specs: model.PaperCluster(sizes[xi]), Count: count, Mode: mode,
-			MaxSkew: 1000 * time.Microsecond, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault}
+			MaxSkew: 1000 * time.Microsecond, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Topo: o.Topo}
 	}, o)
 }
 
@@ -251,7 +257,7 @@ func Fig8(o Opts) *Table {
 	}
 	sizes := PaperSizes()
 	return cpuGrid(t, "fig8", floats(sizes), counts, func(xi, count int, mode Mode) Config {
-		return Config{Specs: model.PaperCluster(sizes[xi]), Count: count, Mode: mode, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault}
+		return Config{Specs: model.PaperCluster(sizes[xi]), Count: count, Mode: mode, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Topo: o.Topo}
 	}, o)
 }
 
@@ -271,7 +277,7 @@ func Fig9(o Opts) (hetero, homog *Table) {
 			},
 		}
 		return latGrid(t, fig, floats(sizes), func(xi int, mode Mode) Config {
-			return Config{Specs: specsFor(sizes[xi]), Count: 1, Mode: mode, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault}
+			return Config{Specs: specsFor(sizes[xi]), Count: 1, Mode: mode, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Topo: o.Topo}
 		}, o)
 	}
 	hetero = mk("Fig. 9a — reduce latency vs. nodes (heterogeneous, 1 element)", "fig9a", PaperSizes(), model.PaperCluster)
@@ -295,7 +301,7 @@ func Fig10(o Opts) *Table {
 	specs := model.PaperCluster32()
 	counts := []int{1, 2, 4, 8, 16, 32, 64, 128}
 	return latGrid(t, "fig10", floats(counts), func(xi int, mode Mode) Config {
-		return Config{Specs: specs, Count: counts[xi], Mode: mode, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault}
+		return Config{Specs: specs, Count: counts[xi], Mode: mode, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Topo: o.Topo}
 	}, o)
 }
 
@@ -315,7 +321,7 @@ func ScaleProjection(sizes []int, skew sim.Time, count int, o Opts) *Table {
 	}
 	return pairGrid(t, "scale", [2]string{"nab", "ab"}, floats(sizes), func(xi, j int) Config {
 		return Config{Specs: model.PaperCluster(sizes[xi]), Count: count, Mode: cpuModes[j],
-			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault}
+			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Topo: o.Topo}
 	}, o)
 }
 
@@ -343,7 +349,7 @@ func AblationDelay(size, count int, skew sim.Time, o Opts) *Table {
 			pol = core.FixedDelay{D: d}
 		}
 		jobs = append(jobs, cpuJob(fmt.Sprintf("delay/x=%v", d),
-			Config{Specs: specs, Count: count, Mode: AppBypass, MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Delay: pol}))
+			Config{Specs: specs, Count: count, Mode: AppBypass, MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Topo: o.Topo, Delay: pol}))
 	}
 	return runGrid(t, xs, jobs, func(cells [][]float64) []float64 {
 		return []float64{cells[0][0], cells[0][1]}
@@ -378,7 +384,7 @@ func AblationSignalCost(size, count int, skew sim.Time, o Opts) *Table {
 		costs.SignalOvh = scosts[xi]
 		costs.SignalIgnored = scosts[xi] / 2
 		return Config{Specs: specs, Count: count, Mode: cpuModes[j],
-			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Costs: &costs}
+			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Topo: o.Topo, Costs: &costs}
 	}, o)
 }
 
@@ -398,7 +404,7 @@ func AblationHeterogeneity(size, count int, o Opts) *Table {
 	}
 	clusters := [][]model.NodeSpec{model.PaperCluster(size), model.Homogeneous1G(size)}
 	return pairGrid(t, "hetero", [2]string{"nab", "ab"}, []float64{0, 1}, func(xi, j int) Config {
-		return Config{Specs: clusters[xi], Count: count, Mode: cpuModes[j], Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault}
+		return Config{Specs: clusters[xi], Count: count, Mode: cpuModes[j], Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Topo: o.Topo}
 	}, o)
 }
 
@@ -421,7 +427,7 @@ func AblationRendezvousAB(size int, skew sim.Time, o Opts) *Table {
 	counts := []int{4096, 8192, 16384} // 32, 64, 128 KiB
 	return pairGrid(t, "rendezvous", [2]string{"fallback", "rendezvous"}, floats(counts), func(xi, j int) Config {
 		return Config{Specs: specs, Count: counts[xi], Mode: AppBypass,
-			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, RendezvousAB: j == 1}
+			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Topo: o.Topo, RendezvousAB: j == 1}
 	}, o)
 }
 
@@ -447,7 +453,7 @@ func AblationNICReduce(size int, skew sim.Time, o Opts) *Table {
 	for _, count := range counts {
 		for _, mode := range modes {
 			jobs = append(jobs, cpuJob(fmt.Sprintf("nicreduce/x=%d/%s", count, mode),
-				Config{Specs: specs, Count: count, Mode: mode, MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault}))
+				Config{Specs: specs, Count: count, Mode: mode, MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Topo: o.Topo}))
 		}
 	}
 	return runGrid(t, floats(counts), jobs, func(cells [][]float64) []float64 {
@@ -510,11 +516,11 @@ func LossSweep(rates []float64, faultSeed int64, o Opts) *Table {
 		for _, mode := range cpuModes {
 			jobs = append(jobs, relCPUJob(fmt.Sprintf("loss/x=%v/cpu/%s", rate, mode),
 				Config{Specs: specs, Count: 4, Mode: mode, MaxSkew: 1000 * time.Microsecond,
-					Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: fc}))
+					Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: fc, Topo: o.Topo}))
 		}
 		for _, mode := range cpuModes {
 			jobs = append(jobs, relLatJob(fmt.Sprintf("loss/x=%v/lat/%s", rate, mode),
-				Config{Specs: specs, Count: 1, Mode: mode, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: fc}))
+				Config{Specs: specs, Count: 1, Mode: mode, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: fc, Topo: o.Topo}))
 		}
 	}
 	return runGrid(t, xs, jobs, func(cells [][]float64) []float64 {

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"abred/internal/model"
+	"abred/internal/sim"
+	"abred/internal/sweep"
+	"abred/internal/topo"
+)
+
+// topoJob is cpuJob extended with uplink-contention counters:
+// [avg CPU µs, link waits, link wait ms].
+func topoJob(name string, cfg Config) sweep.Job[[]float64] {
+	return sweep.Job[[]float64]{Name: name, Seed: cfg.Seed, Run: func() ([]float64, uint64) {
+		r := CPUUtil(cfg)
+		return []float64{us(r.AvgCPU), float64(r.LinkWaits),
+			float64(r.LinkWait) / float64(time.Millisecond)}, r.Events
+	}}
+}
+
+// TopoSweep asks the question the tentpole exists for: does the paper's
+// application-bypass advantage survive once the single crossbar is
+// replaced by a routed multi-stage fabric where frames pay per-hop
+// latency and queue at shared uplinks? Per node count it runs the CPU
+// workload five ways — both implementations on the ideal crossbar, both
+// on the routed topology, and bypass again with the topology-aware
+// reduction tree — and reports the contention the routed runs absorbed.
+func TopoSweep(sizes []int, ft topo.Spec, skew sim.Time, count int, o Opts) *Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title: fmt.Sprintf("Topology sweep — crossbar vs. %s", ft),
+		XName: "nodes",
+		Cols: []string{"xbar_nab", "xbar_ab", "xbar_factor",
+			"ft_nab", "ft_ab", "ft_factor", "ft_ab_hier", "hier_speedup",
+			"ft_waits", "ft_wait_ms"},
+		Notes: []string{
+			"CPU-utilization workload under skew, crossbar vs. a routed",
+			"multi-stage fabric (per-hop latency + uplink queueing).",
+			"ft_ab_hier is bypass with the topology-aware tree; the waits",
+			"columns count uplink queueing across the row's ft_ab run.",
+			"When hosts-per-leaf is a power of two and sizes align, the",
+			"binomial tree is already leaf-local and hier_speedup is 1.",
+		},
+	}
+	cells := []struct {
+		name string
+		mode Mode
+		topo topo.Spec
+		hier bool
+	}{
+		{"xbar/nab", NonAppBypass, topo.Spec{}, false},
+		{"xbar/ab", AppBypass, topo.Spec{}, false},
+		{"ft/nab", NonAppBypass, ft, false},
+		{"ft/ab", AppBypass, ft, false},
+		{"ft/ab-hier", AppBypass, ft, true},
+	}
+	var jobs []sweep.Job[[]float64]
+	for _, size := range sizes {
+		specs := model.PaperCluster(size)
+		for _, c := range cells {
+			jobs = append(jobs, topoJob(fmt.Sprintf("topo/x=%d/%s", size, c.name),
+				Config{Specs: specs, Count: count, Mode: c.mode, MaxSkew: skew,
+					Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault,
+					Topo: c.topo, TopoAware: c.hier}))
+		}
+	}
+	return runGrid(t, floats(sizes), jobs, func(cells [][]float64) []float64 {
+		xbNab, xbAb := cells[0][0], cells[1][0]
+		ftNab, ftAb, ftHier := cells[2][0], cells[3][0], cells[4][0]
+		return []float64{xbNab, xbAb, xbNab / xbAb,
+			ftNab, ftAb, ftNab / ftAb, ftHier, ftAb / ftHier,
+			cells[3][1], cells[3][2]}
+	}, o.Workers)
+}

@@ -17,6 +17,7 @@ import (
 	"abred/internal/model"
 	"abred/internal/mpi"
 	"abred/internal/sim"
+	"abred/internal/topo"
 )
 
 // Node bundles everything belonging to one cluster node. Proc, MPI and
@@ -42,6 +43,7 @@ type Cluster struct {
 	K      *sim.Kernel
 	Costs  model.Costs
 	Fabric *fabric.Fabric
+	Topo   *topo.Topology // built interconnect graph; crossbar by default
 	Nodes  []*Node
 
 	program Program // body of the Run in progress
@@ -53,6 +55,13 @@ type Config struct {
 	Specs []model.NodeSpec // node hardware; one entry per node
 	Costs model.Costs      // zero value means model.DefaultCosts
 	Seed  int64            // kernel seed; reuse to reproduce a run exactly
+
+	// Topo selects the interconnect. The zero value is the single
+	// crossbar every configuration used before topologies existed; it
+	// keeps the fabric on its byte-identical allocation-free path. Like
+	// Specs and Costs it is a construction-time shape property: Reset
+	// refuses a different topology and Pool keys on it.
+	Topo topo.Spec
 
 	// Fault describes fabric fault injection. The zero value keeps the
 	// fabric perfect and the hot path byte-identical to a fault-free
@@ -92,6 +101,8 @@ func New(cfg Config) *Cluster {
 	}
 	k := sim.New(cfg.Seed)
 	fab := fabric.New(k, len(cfg.Specs), cfg.Costs)
+	tp := topo.Build(cfg.Topo, len(cfg.Specs))
+	fab.SetTopology(tp)
 	if plan := fault.New(cfg.Fault); plan != nil {
 		// Each cluster compiles its own Plan (Plans hold mutable RNG
 		// state, and the sweep engine runs clusters concurrently) and
@@ -100,7 +111,7 @@ func New(cfg Config) *Cluster {
 		fab.Inject = plan
 		fab.OnDrop, fab.ClonePayload = gm.FaultHooks()
 	}
-	c := &Cluster{K: k, Costs: cfg.Costs, Fabric: fab, key: keyOf(cfg)}
+	c := &Cluster{K: k, Costs: cfg.Costs, Fabric: fab, Topo: tp, key: keyOf(cfg)}
 	cms := model.SharedCostModels(cfg.Specs, cfg.Costs)
 	nics := gm.NewNICs(k, cms, fab)
 	poolCap := packetPoolCap(len(cfg.Specs))
@@ -141,6 +152,10 @@ func (c *Cluster) Reset(cfg Config) {
 	}
 	if cfg.Costs != c.Costs {
 		panic("cluster: Reset with different costs")
+	}
+	if cfg.Topo != c.Topo.Spec() {
+		panic(fmt.Sprintf("cluster: Reset with topology %v on a %v cluster",
+			cfg.Topo, c.Topo.Spec()))
 	}
 	for i, n := range c.Nodes {
 		if cfg.Specs[i] != n.Spec {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"abred/internal/model"
+	"abred/internal/topo"
 )
 
 // Pool recycles built clusters across simulation runs. A sweep that
@@ -35,6 +36,7 @@ type poolKey struct {
 	n     int
 	specs uint64
 	costs model.Costs
+	topo  topo.Spec
 }
 
 // NewPool returns an empty cluster pool.
@@ -62,12 +64,13 @@ func hashSpecs(specs []model.NodeSpec) uint64 {
 }
 
 func keyOf(cfg Config) poolKey {
-	return poolKey{n: len(cfg.Specs), specs: hashSpecs(cfg.Specs), costs: cfg.Costs}
+	return poolKey{n: len(cfg.Specs), specs: hashSpecs(cfg.Specs),
+		costs: cfg.Costs, topo: cfg.Topo}
 }
 
 // matches reports whether c was built with exactly this shape.
 func (c *Cluster) matches(cfg Config) bool {
-	if len(cfg.Specs) != len(c.Nodes) || cfg.Costs != c.Costs {
+	if len(cfg.Specs) != len(c.Nodes) || cfg.Costs != c.Costs || cfg.Topo != c.Topo.Spec() {
 		return false
 	}
 	for i, n := range c.Nodes {

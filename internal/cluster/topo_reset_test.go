@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"testing"
+
+	"abred/internal/coll"
+	"abred/internal/model"
+	"abred/internal/mpi"
+	"abred/internal/sim"
+	"abred/internal/topo"
+)
+
+var fatTree4 = topo.Spec{Kind: topo.FatTree, K: 4}
+
+// TestTopoChangesOutcome: sanity for every topology test below — the
+// routed fabric must actually change observable timing on the standard
+// workload, or the toggle tests are vacuous.
+func TestTopoChangesOutcome(t *testing.T) {
+	specs := model.Uniform(8)
+	xb := New(Config{Specs: specs, Seed: 5})
+	defer xb.Close()
+	ft := New(Config{Specs: specs, Seed: 5, Topo: fatTree4})
+	defer ft.Close()
+	if fingerprint(xb) == fingerprint(ft) {
+		t.Fatal("fat-tree run is byte-identical to the crossbar run")
+	}
+}
+
+// TestResetTopoMismatchPanics: the topology is a construction-time
+// shape property like specs and costs; Reset must refuse to cross it.
+func TestResetTopoMismatchPanics(t *testing.T) {
+	c := New(Config{Specs: model.Uniform(4), Seed: 1, Topo: fatTree4})
+	defer c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset across topologies did not panic")
+		}
+	}()
+	c.Reset(Config{Specs: model.Uniform(4), Seed: 1})
+}
+
+// TestPoolTopoKeying: a pool hit across different topologies must be
+// impossible, and pooled clusters of either topology must replay
+// byte-identically to fresh builds when toggling between them.
+func TestPoolTopoKeying(t *testing.T) {
+	specs := model.Uniform(8)
+	xbCfg := Config{Specs: specs, Seed: 3}
+	ftCfg := Config{Specs: specs, Seed: 3, Topo: fatTree4}
+
+	fxb := New(xbCfg)
+	defer fxb.Close()
+	wantXB := fingerprint(fxb)
+	fft := New(ftCfg)
+	defer fft.Close()
+	wantFT := fingerprint(fft)
+
+	p := NewPool()
+	defer p.Drain()
+	xb := p.Get(xbCfg)
+	gotXB := fingerprint(xb)
+	p.Put(xb)
+	ft := p.Get(ftCfg)
+	if ft == xb {
+		t.Fatal("pool handed a crossbar cluster to a fat-tree config")
+	}
+	gotFT := fingerprint(ft)
+	p.Put(ft)
+	// Toggle back and forth: each Get must route to the matching shape.
+	for cycle := 0; cycle < 2; cycle++ {
+		c := p.Get(xbCfg)
+		if c != xb {
+			t.Fatalf("cycle %d: crossbar config did not reuse the crossbar cluster", cycle)
+		}
+		if got := fingerprint(c); got != wantXB {
+			t.Fatalf("cycle %d: pooled crossbar diverged:\nwant:\n%s\ngot:\n%s", cycle, wantXB, got)
+		}
+		p.Put(c)
+		c = p.Get(ftCfg)
+		if c != ft {
+			t.Fatalf("cycle %d: fat-tree config did not reuse the fat-tree cluster", cycle)
+		}
+		if got := fingerprint(c); got != wantFT {
+			t.Fatalf("cycle %d: pooled fat-tree diverged:\nwant:\n%s\ngot:\n%s", cycle, wantFT, got)
+		}
+		p.Put(c)
+	}
+	if gotXB != wantXB || gotFT != wantFT {
+		t.Fatalf("first pooled runs diverged from fresh builds")
+	}
+}
+
+// TestTopoTreeReduceEndToEnd: AB-reduce with a topology-aware tree on a
+// routed fat-tree cluster produces the same values as the flat shape,
+// at every rank count that exercises ragged leaf groups.
+func TestTopoTreeReduceEndToEnd(t *testing.T) {
+	for _, size := range []int{6, 8, 12} {
+		c := New(Config{Specs: model.Uniform(size), Seed: 42, Topo: fatTree4})
+		tree := coll.NewTopoTree(size, 0, c.Topo.Leaf)
+		const count = 16
+		out := make([]byte, count*8)
+		c.Run(func(n *Node, w *mpi.Comm) {
+			n.Engine.SetTopoTree(tree)
+			in := mpi.Float64sToBytes(rankInput(n.ID, count))
+			n.Proc.SpinInterruptible(sim.Time(n.ID%5) * 200 * us)
+			n.Engine.Reduce(w, in, out, count, mpi.Float64, mpi.OpSum, 0)
+			n.Proc.SpinInterruptible(1500 * us)
+			coll.Barrier(w)
+		})
+		c.Close()
+
+		want := make([]float64, count)
+		for r := 0; r < size; r++ {
+			for i, v := range rankInput(r, count) {
+				want[i] += v
+			}
+		}
+		got := mpi.BytesToFloat64s(out)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("size=%d: element %d = %v, want %v", size, i, got[i], want[i])
+			}
+		}
+	}
+}

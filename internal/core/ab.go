@@ -32,6 +32,7 @@ func (e *Engine) Reduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.
 	}
 
 	rank, size := c.Rank(), c.Size()
+	tree := e.treeFor(root, size)
 
 	if rank == root {
 		// The root must block until the reduction completes (the MPI
@@ -40,13 +41,24 @@ func (e *Engine) Reduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.
 		// children still send collective-typed packets; the Fig. 4 root
 		// check passes them through to default matching.
 		e.Metrics.RootReductions++
-		coll.ReduceWithSeq(c, seq, sendbuf, recvbuf, count, dt, op, root, true)
+		if tree != nil {
+			coll.ReduceTreeOnKind(c, tree, mpi.CtxReduce, seq, sendbuf, recvbuf, count, dt, op, true)
+		} else {
+			coll.ReduceWithSeq(c, seq, sendbuf, recvbuf, count, dt, op, root, true)
+		}
 		return
 	}
-	if coll.ChildCount(rank, root, size) == 0 {
+	leaf := coll.ChildCount(rank, root, size) == 0
+	if tree != nil {
+		leaf = tree.ChildCount(rank) == 0
+	}
+	if leaf {
 		// A leaf's only action is one send to its parent (§II).
 		e.Metrics.LeafReductions++
 		parent := coll.Parent(rank, root, size)
+		if tree != nil {
+			parent = tree.Parent(rank)
+		}
 		pr.Send(mpi.SendArgs{
 			Dst: parent, Ctx: c.Ctx(mpi.CtxReduce), Tag: seqTag(seq), Data: sendbuf[:n],
 			Collective: true, Root: int32(root), Seq: seq,
@@ -86,8 +98,16 @@ func (e *Engine) beginInternal(c *mpi.Comm, kind mpi.CtxKind, seq uint64, sendbu
 	d.seq = seq
 	d.tag = seqTag(seq)
 	d.root = root
-	d.parent = coll.Parent(rank, root, size)
-	d.pending = coll.AppendChildren(d.pending[:0], rank, root, size)
+	// A topology-aware tree applies only to the blocking reduce context:
+	// the split-phase operations run their leaf/root sides on the flat
+	// shape, so their internal nodes must stay flat to match.
+	if t := e.treeFor(root, size); t != nil && kind == mpi.CtxReduce {
+		d.parent = t.Parent(rank)
+		d.pending = t.AppendChildren(d.pending[:0], rank)
+	} else {
+		d.parent = coll.Parent(rank, root, size)
+		d.pending = coll.AppendChildren(d.pending[:0], rank, root, size)
+	}
 	d.count = count
 	d.dt = dt
 	d.op = op

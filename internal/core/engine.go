@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 
+	"abred/internal/coll"
 	"abred/internal/gm"
 	"abred/internal/mpi"
 	"abred/internal/sim"
@@ -64,6 +65,12 @@ type Engine struct {
 	// rendezvousAB enables application-bypass for rendezvous-sized
 	// messages (§V-B future work); off by default, as in the paper.
 	rendezvousAB bool
+
+	// tree, when set, replaces the flat binomial shape of Reduce with a
+	// topology-aware one (coll.TopoTree); it applies only to instances
+	// whose root and size match the tree's, and every rank of the
+	// communicator must install the same tree.
+	tree *coll.TopoTree
 
 	delay DelayPolicy
 
@@ -127,6 +134,7 @@ func (e *Engine) Reset() {
 	e.ubq = e.ubq[:0]
 	e.inSync = 0
 	e.rendezvousAB = false
+	e.tree = nil
 	e.delay = NoDelay{}
 	e.bcast.active = false
 	clear(e.bcast.pending)
@@ -150,6 +158,22 @@ func (e *Engine) SetDelayPolicy(p DelayPolicy) {
 		p = NoDelay{}
 	}
 	e.delay = p
+}
+
+// SetTopoTree installs a topology-aware reduction tree (nil restores
+// the flat binomial shape). Reductions whose root and size match the
+// tree's use its parent/child relation on the blocking contexts —
+// every rank of the communicator must install the same tree, exactly
+// as every rank must agree on root and size.
+func (e *Engine) SetTopoTree(t *coll.TopoTree) { e.tree = t }
+
+// treeFor returns the installed topology-aware tree if it applies to a
+// (root, size) reduction instance, nil otherwise.
+func (e *Engine) treeFor(root, size int) *coll.TopoTree {
+	if t := e.tree; t != nil && t.Root() == root && t.Size() == size {
+		return t
+	}
+	return nil
 }
 
 // abMsg is an entry in the engine's own unexpected queue: a collective

@@ -9,9 +9,16 @@
 // and serializes frames on both the source's injection link and the
 // destination's ejection link, which yields the FIFO delivery order GM
 // guarantees per (source, destination) pair — the property the paper's
-// late-message matching relies on (§IV-D). Switch-internal contention is
-// not modeled; with the paper's ≤1 KB reduction messages the crossbar is
-// never the bottleneck.
+// late-message matching relies on (§IV-D). On the default single
+// crossbar, switch-internal contention is not modeled; with the paper's
+// ≤1 KB reduction messages one crossbar is never the bottleneck.
+//
+// SetTopology replaces the single crossbar with a multi-stage Clos
+// (internal/topo): frames then follow deterministic routed paths, pay
+// cable propagation plus a switch stage per crossing, and contend FIFO
+// at every shared inter-switch egress port. The crossbar configuration
+// never takes that branch and stays byte-identical to the historical
+// model.
 package fabric
 
 import (
@@ -19,6 +26,7 @@ import (
 
 	"abred/internal/model"
 	"abred/internal/sim"
+	"abred/internal/topo"
 )
 
 // Frame is one message on the wire. Payload is opaque to the fabric.
@@ -55,13 +63,25 @@ type Fabric struct {
 	injectFree []sim.Time // source link busy-until
 	ejectFree  []sim.Time // destination link busy-until
 
+	// Multi-stage routing, nil for the single crossbar: frames then
+	// traverse topo's routed links, each with its own FIFO egress queue
+	// in linkFree. The crossbar keeps its historical nil-check-free
+	// arithmetic and stays byte-identical.
+	topo     *topo.Topology
+	linkFree []sim.Time // inter-switch link busy-until, indexed by link id
+
 	dfree []*delivery // recycled in-flight frame records
 
-	frames     uint64
-	bytes      uint64
-	dropped    uint64
-	duplicated uint64
-	OnDeliver  func(Frame) // optional trace hook, called at delivery time
+	frames       uint64
+	bytes        uint64
+	dropped      uint64
+	duplicated   uint64
+	linkWaits    uint64      // routed frames that blocked on a busy inter-switch link
+	linkWaitTime sim.Time    // total time spent so blocked
+	OnDeliver    func(Frame) // optional trace hook, called at delivery time
+	// OnHop observes each inter-switch link occupancy of a routed frame:
+	// the frame holds link for [start, end). Never called on a crossbar.
+	OnHop func(fr Frame, link int32, start, end sim.Time)
 
 	// Inject, when non-nil, is consulted once per Send; the nil path is
 	// allocation-free and byte-identical to a fault-free fabric.
@@ -97,11 +117,56 @@ func (f *Fabric) Reset() {
 		f.injectFree[i] = 0
 		f.ejectFree[i] = 0
 	}
+	for i := range f.linkFree {
+		f.linkFree[i] = 0
+	}
 	f.frames, f.bytes, f.dropped, f.duplicated = 0, 0, 0, 0
+	f.linkWaits, f.linkWaitTime = 0, 0
 	f.OnDeliver = nil
+	f.OnHop = nil
 	f.Inject = nil
 	f.OnDrop = nil
 	f.ClonePayload = nil
+}
+
+// SetTopology installs a multi-stage topology. A nil topology, or one
+// with no inter-switch links (crossbar; a fat-tree or leaf/spine small
+// enough to fit one switch), leaves the fabric on the original
+// single-crossbar path. The topology is a construction-time property
+// and survives Reset, like the cost table.
+func (f *Fabric) SetTopology(t *topo.Topology) {
+	if t == nil || t.Links() == 0 {
+		f.topo = nil
+		f.linkFree = nil
+		return
+	}
+	if t.Nodes() != len(f.sinks) {
+		panic(fmt.Sprintf("fabric: topology for %d nodes on a %d-node fabric",
+			t.Nodes(), len(f.sinks)))
+	}
+	f.topo = t
+	f.linkFree = make([]sim.Time, t.Links())
+}
+
+// Topology returns the installed multi-stage topology, nil on the
+// single-crossbar path.
+func (f *Fabric) Topology() *topo.Topology { return f.topo }
+
+// Hops returns the number of switch crossings a frame src -> dst takes:
+// always 1 on the crossbar (and on loopback), 2a+1 through a routed
+// topology. The GM reliability layer scales its per-link RTO by this.
+func (f *Fabric) Hops(src, dst int) int {
+	if f.topo == nil || src == dst {
+		return 1
+	}
+	return f.topo.Hops(src, dst)
+}
+
+// TopoStats reports inter-switch link contention on a routed topology:
+// how many link occupancies had to wait for a busy link and the total
+// time so spent. Both zero on the crossbar.
+func (f *Fabric) TopoStats() (waits uint64, waitTime sim.Time) {
+	return f.linkWaits, f.linkWaitTime
 }
 
 // delivery is one frame in flight: a pooled sim.Runner, so scheduling a
@@ -202,7 +267,11 @@ func (f *Fabric) Send(frame Frame) {
 func (f *Fabric) eject(frame Frame, now, depart, ser, extra sim.Time) {
 	head := depart - ser
 	if frame.Src != frame.Dst {
-		head += f.costs.WireProp + f.costs.SwitchHop
+		if f.topo != nil {
+			head = f.traverse(frame, head, ser)
+		} else {
+			head += f.costs.WireProp + f.costs.SwitchHop
+		}
 	}
 	if f.ejectFree[frame.Dst] > head {
 		head = f.ejectFree[frame.Dst]
@@ -220,6 +289,36 @@ func (f *Fabric) eject(frame Frame, now, depart, ser, extra sim.Time) {
 	}
 	dl.fr = frame
 	f.k.AfterRunner(arrive+extra-now, dl)
+}
+
+// traverse walks the frame's head through the routed inter-switch
+// links. Each link is an egress port with a FIFO queue: the head waits
+// until the link frees, holds it for one serialization (cut-through —
+// the tail streams behind the head, so a switch forwards after one
+// header, not one full frame), and pays cable propagation plus a
+// crossbar stage per crossing. The first hop (host cable into the leaf
+// switch) has no shared queue — the injection link already serialized
+// it — so it only pays latency. With zero routed links this reduces
+// exactly to the crossbar's prop + hop charge.
+func (f *Fabric) traverse(frame Frame, head, ser sim.Time) sim.Time {
+	head += f.costs.WireProp + f.costs.SwitchHop
+	var p topo.Path
+	f.topo.Route(frame.Src, frame.Dst, &p)
+	for i := 0; i < p.N; i++ {
+		li := p.Links[i]
+		if free := f.linkFree[li]; free > head {
+			f.linkWaits++
+			f.linkWaitTime += free - head
+			head = free
+		}
+		end := head + ser
+		f.linkFree[li] = end
+		if f.OnHop != nil {
+			f.OnHop(frame, li, head, end)
+		}
+		head += f.costs.WireProp + f.costs.SwitchHop
+	}
+	return head
 }
 
 // Stats reports total frames and bytes injected so far.

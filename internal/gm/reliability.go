@@ -50,6 +50,12 @@ const (
 	// one-way small-packet latency plus relAckDelay, so a healthy link
 	// never spuriously retransmits.
 	relBaseRTO = 150 * time.Microsecond
+	// relHopRTO widens a link's base timeout per switch crossing beyond
+	// the first: on a routed multi-stage fabric the round trip grows
+	// with hop latency and queuing at shared uplinks, so the RTO must
+	// key on the routed path, not just the endpoints. Single-crossbar
+	// links (one crossing) keep exactly relBaseRTO.
+	relHopRTO = 25 * time.Microsecond
 	// relMaxRTO caps the exponential backoff.
 	relMaxRTO = 2400 * time.Microsecond
 	// relMaxRounds of unanswered retransmission mark the port dead.
@@ -76,6 +82,7 @@ type relLink struct {
 	ring    []*relEntry // unacked packets, in sequence order
 	rtxAt   sim.Time    // retransmit deadline (0 = ring empty)
 	rto     sim.Time    // current timeout, backoff applied
+	rto0    sim.Time    // hop-scaled base timeout, cached (0 = not yet computed)
 	rounds  int         // consecutive timeout rounds without progress
 
 	// Receiver side.
@@ -213,11 +220,24 @@ func (r *relState) sequence(pkt *Packet, fromHost bool) bool {
 	}
 	l.ring = append(l.ring, e)
 	if l.rtxAt == 0 {
-		l.rto = relBaseRTO
+		l.rto = r.linkRTO(pkt.DstNode, l)
 		l.rtxAt = r.n.k.Now() + l.rto
 		r.activate(pkt.DstNode, l, l.rtxAt)
 	}
 	return fromHost
+}
+
+// linkRTO returns the link's base retransmit timeout, scaled by the
+// routed hop count to the peer and cached. On the single crossbar every
+// link answers in one crossing and the result is exactly relBaseRTO.
+func (r *relState) linkRTO(peer int, l *relLink) sim.Time {
+	if l.rto0 == 0 {
+		l.rto0 = relBaseRTO
+		if h := r.n.fab.Hops(r.n.node, peer); h > 1 {
+			l.rto0 += sim.Time(h-1) * relHopRTO
+		}
+	}
+	return l.rto0
 }
 
 // accept runs in the control program's receive path. It reports whether
@@ -280,7 +300,7 @@ func (r *relState) onAck(peer int, l *relLink, ackTo uint64) {
 	}
 	l.ring = l.ring[:m]
 	l.rounds = 0
-	l.rto = relBaseRTO
+	l.rto = r.linkRTO(peer, l)
 	if len(l.ring) == 0 {
 		l.rtxAt = 0
 	} else {

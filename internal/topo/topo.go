@@ -1,0 +1,312 @@
+// Package topo describes the switching fabric's physical topology and
+// computes deterministic shortest-path routes through it.
+//
+// The paper's testbed interconnect was Myrinet-2000, whose "switch" is
+// a Clos network built from 16-port crossbars; a frame between distant
+// hosts crosses several crossbar stages and contends with other flows
+// at shared inter-switch links. Three topologies are modeled:
+//
+//   - Crossbar: one infinite-radix cut-through crossbar — the original
+//     fabric model and the default. No inter-switch links exist; the
+//     fabric keeps its historical (byte-identical) code path.
+//   - FatTree: a folded Clos built from k-port crossbars, each with
+//     m = k/2 down-ports and m up-ports. Hosts hang off leaf switches
+//     in groups of m; levels are added until m^levels >= n, so 16-port
+//     switches reach 16384 hosts in five stages, like a real
+//     Myrinet-2000 Clos spine. The network has full bisection: a
+//     subtree of m^l hosts at level l is served by m^l parallel
+//     switches.
+//   - LeafSpine: the idealized two-level datacenter fabric — leaves of
+//     r hosts, r spine switches, every leaf wired to every spine. The
+//     spine tier is never more than one crossing away regardless of
+//     scale (spine radix is left unconstrained — this is the textbook
+//     abstraction, not a buildable switch).
+//
+// Routing is up/down (the only shortest paths in a Clos) with
+// destination-digit up-path selection — "D-mod-k", the deterministic
+// ECMP collapse used by InfiniBand fat-tree routing engines: at climb
+// level l the packet takes the uplink indexed by digit l of the
+// destination's base-m address. The choice makes every route a pure
+// function of (src, dst), computable from per-destination tables built
+// once at construction time, and concentrates fan-in traffic exactly
+// where a deterministically routed Clos concentrates it: all flows to
+// one destination share that destination's down-path links, and
+// leaf-mates sending to the same destination share their leaf's
+// uplink. That is the contention the topology sweep measures.
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind selects the fabric topology family.
+type Kind uint8
+
+// Topology kinds. The zero value is the single crossbar — the model
+// every existing configuration implicitly used.
+const (
+	Crossbar Kind = iota
+	FatTree
+	LeafSpine
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Crossbar:
+		return "crossbar"
+	case FatTree:
+		return "fattree"
+	case LeafSpine:
+		return "leafspine"
+	}
+	return "?"
+}
+
+// Spec declares a topology. It is a comparable value type so it can key
+// cluster pools and Reset mismatch checks. The zero Spec is the single
+// crossbar.
+type Spec struct {
+	Kind Kind
+	// K is the switch radix parameter: for FatTree the total ports per
+	// switch (even, >= 4; m = K/2 per direction), for LeafSpine the
+	// hosts per leaf switch (>= 2; also the number of spines).
+	K int
+}
+
+// String renders the flag form: "crossbar", "fattree:16", "leafspine:8".
+func (s Spec) String() string {
+	switch s.Kind {
+	case Crossbar:
+		return "crossbar"
+	case FatTree:
+		return "fattree:" + strconv.Itoa(s.K)
+	case LeafSpine:
+		return "leafspine:" + strconv.Itoa(s.K)
+	}
+	return "?"
+}
+
+// ParseSpec parses the -topo flag syntax: "crossbar" (or ""),
+// "fattree:k" and "leafspine:r".
+func ParseSpec(s string) (Spec, error) {
+	if s == "" || s == "crossbar" {
+		return Spec{}, nil
+	}
+	name, arg, ok := strings.Cut(s, ":")
+	if !ok {
+		return Spec{}, fmt.Errorf("topo: %q: want crossbar, fattree:k or leafspine:r", s)
+	}
+	k, err := strconv.Atoi(arg)
+	if err != nil {
+		return Spec{}, fmt.Errorf("topo: %q: bad parameter %q", s, arg)
+	}
+	var spec Spec
+	switch name {
+	case "fattree":
+		spec = Spec{Kind: FatTree, K: k}
+	case "leafspine":
+		spec = Spec{Kind: LeafSpine, K: k}
+	default:
+		return Spec{}, fmt.Errorf("topo: unknown topology %q", name)
+	}
+	if err := spec.validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+func (s Spec) validate() error {
+	switch s.Kind {
+	case Crossbar:
+		return nil
+	case FatTree:
+		if s.K < 4 || s.K%2 != 0 {
+			return fmt.Errorf("topo: fattree needs an even switch radix >= 4, got %d", s.K)
+		}
+	case LeafSpine:
+		if s.K < 2 {
+			return fmt.Errorf("topo: leafspine needs >= 2 hosts per leaf, got %d", s.K)
+		}
+	default:
+		return fmt.Errorf("topo: unknown kind %d", s.Kind)
+	}
+	return nil
+}
+
+// MaxHops bounds the inter-switch links on any route: 2*(levels-1) for
+// the deepest tree Build accepts.
+const MaxHops = 32
+
+// Path is one routed frame's traversal: the directed inter-switch links
+// in order (up-links first, then down-links) plus the number of switch
+// crossings. It is a fixed-size value so routing stays allocation-free.
+type Path struct {
+	Links    [MaxHops]int32
+	N        int // inter-switch links used (0 on a single-switch route)
+	Switches int // crossbar stages crossed (1 on a single-switch route)
+}
+
+// Topology is a built fabric graph with its routing tables.
+type Topology struct {
+	spec   Spec
+	n      int
+	m      int   // down-ports (and up-ports) per switch; 0 for crossbar
+	levels int   // switch tiers; 1 = every host on one switch
+	pow    []int // pow[l] = m^l, l in 0..levels
+	upBase []int // first up-link id of climb level l
+	dnBase []int // first down-link id of descent level l
+	nLinks int
+
+	// Per-destination routing tables, levels-1 entries per host:
+	// dnLink[dst*(levels-1)+l] is the directed link from the level-(l+1)
+	// switch down into the level-l switch toward dst; upOff holds the
+	// dst-determined part of the up-link id at climb level l (the src
+	// contributes only its subtree prefix).
+	dnLink []int32
+	upOff  []int32
+}
+
+// Build constructs the topology for n hosts. Building is deterministic:
+// the same (spec, n) always yields identical link numbering and routes,
+// which the route-determinism tests pin down.
+func Build(spec Spec, n int) *Topology {
+	if n < 1 {
+		panic(fmt.Sprintf("topo: %d hosts", n))
+	}
+	if err := spec.validate(); err != nil {
+		panic(err.Error())
+	}
+	t := &Topology{spec: spec, n: n, levels: 1}
+	switch spec.Kind {
+	case Crossbar:
+		return t
+	case FatTree:
+		t.m = spec.K / 2
+		for cap := t.m; cap < n; cap *= t.m {
+			t.levels++
+		}
+	case LeafSpine:
+		t.m = spec.K
+		if n > t.m {
+			t.levels = 2
+		}
+	}
+	if 2*(t.levels-1) > MaxHops {
+		panic(fmt.Sprintf("topo: %s with %d hosts needs %d stages (> %d hops)",
+			spec, n, t.levels, MaxHops))
+	}
+	t.pow = make([]int, t.levels+1)
+	t.pow[0] = 1
+	for l := 1; l <= t.levels; l++ {
+		t.pow[l] = t.pow[l-1] * t.m
+	}
+	t.upBase = make([]int, t.levels-1)
+	t.dnBase = make([]int, t.levels-1)
+	for l := 0; l < t.levels-1; l++ {
+		// Level-l switches: one group of pow[l] parallel switches per
+		// subtree of pow[l+1] hosts, m uplinks each (and symmetrically
+		// m downlinks from the tier above).
+		cnt := ((n + t.pow[l+1] - 1) / t.pow[l+1]) * t.pow[l] * t.m
+		t.upBase[l] = t.nLinks
+		t.nLinks += cnt
+		t.dnBase[l] = t.nLinks
+		t.nLinks += cnt
+	}
+	t.dnLink = make([]int32, n*(t.levels-1))
+	t.upOff = make([]int32, n*(t.levels-1))
+	for dst := 0; dst < n; dst++ {
+		for l := 0; l < t.levels-1; l++ {
+			p := dst % t.pow[l]         // parallel switch index on dst's path
+			r := (dst / t.pow[l]) % t.m // D-mod-k: digit l picks the parallel tier
+			t.upOff[dst*(t.levels-1)+l] = int32(p*t.m + r)
+			t.dnLink[dst*(t.levels-1)+l] = int32(t.dnBase[l] + ((dst/t.pow[l+1])*t.pow[l]+p)*t.m + r)
+		}
+	}
+	return t
+}
+
+// Nodes returns the host count.
+func (t *Topology) Nodes() int { return t.n }
+
+// Spec returns the declarative description the topology was built from.
+func (t *Topology) Spec() Spec { return t.spec }
+
+// Kind returns the topology family.
+func (t *Topology) Kind() Kind { return t.spec.Kind }
+
+// Levels returns the number of switch tiers (1 = single switch).
+func (t *Topology) Levels() int { return t.levels }
+
+// Links returns the number of directed inter-switch links; link ids in
+// routed Paths are in [0, Links()). Zero for single-switch topologies.
+func (t *Topology) Links() int { return t.nLinks }
+
+// Leaf returns the leaf-switch index of a host; hosts sharing a leaf
+// reach each other in one switch crossing. Single-switch topologies
+// have one leaf.
+func (t *Topology) Leaf(node int) int {
+	if t.m == 0 || t.levels == 1 {
+		return 0
+	}
+	return node / t.m
+}
+
+// Leaves returns the number of leaf switches.
+func (t *Topology) Leaves() int {
+	if t.m == 0 || t.levels == 1 {
+		return 1
+	}
+	return (t.n + t.m - 1) / t.m
+}
+
+// climb returns the number of up-links on the route src -> dst: the
+// lowest tier at which both share a subtree, clamped at the top tier
+// (the clamp is what lets LeafSpine's spines see every leaf).
+func (t *Topology) climb(src, dst int) int {
+	a := 0
+	for a < t.levels-1 && src/t.pow[a+1] != dst/t.pow[a+1] {
+		a++
+	}
+	return a
+}
+
+// Hops returns the number of switch crossings from src to dst: 1 within
+// a leaf (or on any single-switch topology), 2a+1 across a tiers. Hops
+// is symmetric — the up/down route reversed is the reverse route.
+func (t *Topology) Hops(src, dst int) int {
+	if t.levels == 1 {
+		return 1
+	}
+	return 2*t.climb(src, dst) + 1
+}
+
+// Route fills p with the directed inter-switch links of the src -> dst
+// shortest path, up-links first. It allocates nothing; p's backing
+// array is caller storage. Loopback and single-switch routes have no
+// links and one switch crossing.
+func (t *Topology) Route(src, dst int, p *Path) {
+	if src < 0 || src >= t.n || dst < 0 || dst >= t.n {
+		panic(fmt.Sprintf("topo: bad route %d -> %d (%d hosts)", src, dst, t.n))
+	}
+	if t.levels == 1 || src == dst {
+		p.N = 0
+		p.Switches = 1
+		return
+	}
+	a := t.climb(src, dst)
+	base := dst * (t.levels - 1)
+	idx := 0
+	for l := 0; l < a; l++ {
+		p.Links[idx] = int32(t.upBase[l]+(src/t.pow[l+1])*t.pow[l]*t.m) + t.upOff[base+l]
+		idx++
+	}
+	for l := a - 1; l >= 0; l-- {
+		p.Links[idx] = t.dnLink[base+l]
+		idx++
+	}
+	p.N = idx
+	p.Switches = 2*a + 1
+}

@@ -1,0 +1,267 @@
+package topo
+
+import (
+	"testing"
+)
+
+func route(t *Topology, src, dst int) []int32 {
+	var p Path
+	t.Route(src, dst, &p)
+	return append([]int32(nil), p.Links[:p.N]...)
+}
+
+func TestParseSpec(t *testing.T) {
+	good := []struct {
+		in   string
+		want Spec
+	}{
+		{"", Spec{}},
+		{"crossbar", Spec{}},
+		{"fattree:4", Spec{Kind: FatTree, K: 4}},
+		{"fattree:16", Spec{Kind: FatTree, K: 16}},
+		{"leafspine:8", Spec{Kind: LeafSpine, K: 8}},
+	}
+	for _, tc := range good {
+		got, err := ParseSpec(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSpec(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"fattree", "fattree:3", "fattree:x", "fattree:2",
+		"leafspine:1", "torus:4", "fattree:15"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) did not fail", bad)
+		}
+	}
+	// String round-trips through ParseSpec for every valid spec form.
+	for _, s := range []Spec{{}, {Kind: FatTree, K: 8}, {Kind: LeafSpine, K: 4}} {
+		back, err := ParseSpec(s.String())
+		if err != nil || back != s {
+			t.Errorf("round trip %v -> %q -> %v, %v", s, s.String(), back, err)
+		}
+	}
+}
+
+// TestShapes pins the structural parameters of each topology family.
+func TestShapes(t *testing.T) {
+	cases := []struct {
+		name   string
+		spec   Spec
+		n      int
+		levels int
+		links  int
+		leaves int
+	}{
+		{"crossbar", Spec{}, 64, 1, 0, 1},
+		{"fattree fits one switch", Spec{Kind: FatTree, K: 8}, 4, 1, 0, 1},
+		{"fattree 2 levels", Spec{Kind: FatTree, K: 4}, 4, 2, 8, 2},
+		// 4 leaves x 2 uplinks + 2 subtrees x 2 spines x 2 uplinks,
+		// both directions.
+		{"fattree 3 levels", Spec{Kind: FatTree, K: 4}, 8, 3, 2 * (8 + 8), 4},
+		// m=8: 8^3 = 512 < 1024, so 16-port switches need four stages;
+		// full bisection keeps every tier at 1024 links per direction.
+		{"fattree k16 1024", Spec{Kind: FatTree, K: 16}, 1024, 4, 6 * 1024, 128},
+		{"fattree ragged", Spec{Kind: FatTree, K: 4}, 6, 3, 2 * (6 + 8), 3},
+		{"leafspine fits one switch", Spec{Kind: LeafSpine, K: 8}, 8, 1, 0, 1},
+		{"leafspine", Spec{Kind: LeafSpine, K: 4}, 12, 2, 24, 3},
+		{"leafspine big", Spec{Kind: LeafSpine, K: 32}, 1024, 2, 2 * 32 * 32, 32},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tp := Build(tc.spec, tc.n)
+			if tp.Levels() != tc.levels || tp.Links() != tc.links || tp.Leaves() != tc.leaves {
+				t.Fatalf("levels=%d links=%d leaves=%d; want %d/%d/%d",
+					tp.Levels(), tp.Links(), tp.Leaves(), tc.levels, tc.links, tc.leaves)
+			}
+		})
+	}
+}
+
+// TestHops is the hop-count table: within a leaf one crossing, then two
+// more per tier climbed, with leaf/spine clamped at three.
+func TestHops(t *testing.T) {
+	cases := []struct {
+		name     string
+		spec     Spec
+		n        int
+		src, dst int
+		hops     int
+		links    int
+	}{
+		{"crossbar far", Spec{}, 1024, 0, 1023, 1, 0},
+		{"loopback", Spec{Kind: FatTree, K: 4}, 8, 3, 3, 1, 0},
+		{"same leaf", Spec{Kind: FatTree, K: 4}, 8, 2, 3, 1, 0},
+		{"one tier", Spec{Kind: FatTree, K: 4}, 8, 0, 2, 3, 2},
+		{"two tiers", Spec{Kind: FatTree, K: 4}, 8, 0, 7, 5, 4},
+		{"k16 same leaf", Spec{Kind: FatTree, K: 16}, 1024, 0, 7, 1, 0},
+		{"k16 one tier", Spec{Kind: FatTree, K: 16}, 1024, 0, 63, 3, 2},
+		{"k16 two tiers", Spec{Kind: FatTree, K: 16}, 1024, 0, 511, 5, 4},
+		{"k16 three tiers", Spec{Kind: FatTree, K: 16}, 1024, 0, 1023, 7, 6},
+		{"leafspine same leaf", Spec{Kind: LeafSpine, K: 3}, 12, 0, 2, 1, 0},
+		{"leafspine clamped", Spec{Kind: LeafSpine, K: 3}, 12, 0, 11, 3, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tp := Build(tc.spec, tc.n)
+			var p Path
+			tp.Route(tc.src, tc.dst, &p)
+			if got := tp.Hops(tc.src, tc.dst); got != tc.hops || p.N != tc.links || p.Switches != tc.hops {
+				t.Fatalf("hops=%d links=%d switches=%d; want %d/%d/%d",
+					got, p.N, p.Switches, tc.hops, tc.links, tc.hops)
+			}
+		})
+	}
+}
+
+// TestRouteProperties sweeps all pairs of several topologies and checks
+// the route invariants: link ids in range, no link repeated, hop count
+// symmetric, up-path disjoint from every other source's up-path only
+// when destinations differ in the right digit, and the down-path a pure
+// function of the destination (D-mod-k: all flows to one destination
+// share its whole down-path).
+func TestRouteProperties(t *testing.T) {
+	specs := []struct {
+		spec Spec
+		n    int
+	}{
+		{Spec{Kind: FatTree, K: 4}, 16},
+		{Spec{Kind: FatTree, K: 8}, 64},
+		{Spec{Kind: FatTree, K: 4}, 11}, // ragged: n not a power of m
+		{Spec{Kind: LeafSpine, K: 4}, 14},
+	}
+	for _, tc := range specs {
+		tp := Build(tc.spec, tc.n)
+		downs := make([][][]int32, tc.n) // downs[dst] = every observed down half
+		for src := 0; src < tc.n; src++ {
+			for dst := 0; dst < tc.n; dst++ {
+				var p Path
+				tp.Route(src, dst, &p)
+				if p.Switches != p.N+1 || p.N%2 != 0 {
+					t.Fatalf("%v n=%d %d->%d: %d links but %d switches",
+						tc.spec, tc.n, src, dst, p.N, p.Switches)
+				}
+				seen := map[int32]bool{}
+				for _, li := range p.Links[:p.N] {
+					if li < 0 || int(li) >= tp.Links() {
+						t.Fatalf("%v n=%d %d->%d: link %d out of range [0,%d)",
+							tc.spec, tc.n, src, dst, li, tp.Links())
+					}
+					if seen[li] {
+						t.Fatalf("%v n=%d %d->%d: link %d repeated", tc.spec, tc.n, src, dst, li)
+					}
+					seen[li] = true
+				}
+				if h, hr := tp.Hops(src, dst), tp.Hops(dst, src); h != hr {
+					t.Fatalf("%v n=%d: hops(%d,%d)=%d but hops(%d,%d)=%d",
+						tc.spec, tc.n, src, dst, h, dst, src, hr)
+				}
+				downs[dst] = append(downs[dst],
+					append([]int32(nil), p.Links[p.N/2:p.N]...))
+			}
+		}
+		// D-mod-k: the descent is a pure function of the destination — a
+		// nearer source's shorter down-path is the tail (lower tiers) of
+		// the farthest source's.
+		for dst, ds := range downs {
+			var longest []int32
+			for _, d := range ds {
+				if len(d) > len(longest) {
+					longest = d
+				}
+			}
+			for _, d := range ds {
+				tail := longest[len(longest)-len(d):]
+				for i := range d {
+					if d[i] != tail[i] {
+						t.Fatalf("%v n=%d: down-path to %d depends on source: %v not a tail of %v",
+							tc.spec, tc.n, dst, d, longest)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUplinkSelection pins the D-mod-k policy on the 8-host, radix-4
+// tree: leaf-mates sending to one destination share their leaf's uplink
+// (that is the modeled contention), while one source spreads different
+// far destinations across its two uplinks.
+func TestUplinkSelection(t *testing.T) {
+	tp := Build(Spec{Kind: FatTree, K: 4}, 8)
+	// Shared: 0 and 1 sit on leaf 0; both routes to 4 must start with
+	// the same uplink and share the entire down-path.
+	r0, r1 := route(tp, 0, 4), route(tp, 1, 4)
+	if len(r0) != 4 || len(r1) != 4 {
+		t.Fatalf("expected 4-link routes, got %v and %v", r0, r1)
+	}
+	for i := range r0 {
+		if r0[i] != r1[i] {
+			t.Fatalf("leaf-mates to one dst diverged: %v vs %v", r0, r1)
+		}
+	}
+	// Spread: destinations differing in their low digit leave source 0's
+	// leaf on different uplinks.
+	if a, b := route(tp, 0, 4)[0], route(tp, 0, 5)[0]; a == b {
+		t.Fatalf("dsts 4 and 5 share source uplink %d; D-mod-k should spread them", a)
+	}
+}
+
+// TestBuildDeterminism: two Builds of the same spec yield identical
+// tables and routes — the property cluster Reset and the pool rely on.
+func TestBuildDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		spec Spec
+		n    int
+	}{
+		{Spec{Kind: FatTree, K: 4}, 32},
+		{Spec{Kind: LeafSpine, K: 8}, 50},
+	} {
+		a, b := Build(tc.spec, tc.n), Build(tc.spec, tc.n)
+		for src := 0; src < tc.n; src += 3 {
+			for dst := 0; dst < tc.n; dst++ {
+				ra, rb := route(a, src, dst), route(b, src, dst)
+				if len(ra) != len(rb) {
+					t.Fatalf("%v: route %d->%d lengths differ", tc.spec, src, dst)
+				}
+				for i := range ra {
+					if ra[i] != rb[i] {
+						t.Fatalf("%v: route %d->%d differs across rebuilds: %v vs %v",
+							tc.spec, src, dst, ra, rb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteAllocs: routing is on the fabric hot path and must not
+// allocate.
+func TestRouteAllocs(t *testing.T) {
+	tp := Build(Spec{Kind: FatTree, K: 16}, 4096)
+	var p Path
+	allocs := testing.AllocsPerRun(100, func() {
+		tp.Route(17, 4000, &p)
+		tp.Route(4000, 17, &p)
+	})
+	if allocs != 0 {
+		t.Fatalf("Route allocates %.1f objects per call pair", allocs)
+	}
+}
+
+func TestBuildPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("n=0", func() { Build(Spec{}, 0) })
+	mustPanic("odd radix", func() { Build(Spec{Kind: FatTree, K: 5}, 8) })
+	mustPanic("bad dst", func() {
+		var p Path
+		Build(Spec{Kind: FatTree, K: 4}, 8).Route(0, 8, &p)
+	})
+}

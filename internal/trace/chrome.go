@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"time"
+
+	"abred/internal/sim"
+)
+
+// HopSpan is one link occupancy on the routed fabric: frame src→dst
+// held link for [Start, End) while its head crossed that stage of the
+// topology. Recorded from fabric.OnHop.
+type HopSpan struct {
+	Src, Dst   int
+	Link       int32
+	Start, End sim.Time
+}
+
+// AddHop records a fabric hop span.
+func (r *Recorder) AddHop(src, dst int, link int32, start, end sim.Time) {
+	r.Hops = append(r.Hops, HopSpan{Src: src, Dst: dst, Link: link, Start: start, End: end})
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto): "X" complete events carry a ts/dur pair
+// in microseconds; "M" metadata events name the processes and threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeUS converts simulated time to the format's microsecond floats.
+func chromeUS(t sim.Time) float64 { return float64(t) / float64(time.Microsecond) }
+
+// chromeName maps span kinds to event names.
+func chromeName(kind byte) string {
+	switch kind {
+	case KindCompute:
+		return "compute"
+	case KindBarrier:
+		return "barrier"
+	case KindSync:
+		return "MPI_Reduce (sync)"
+	case KindAsync:
+		return "async handler"
+	}
+	return "idle"
+}
+
+// WriteChrome emits the recording in Chrome trace-event JSON: one
+// "hosts" process with a thread per node for the engine spans, and —
+// when hop spans were recorded — a "fabric" process with a thread per
+// link showing each frame's cut-through occupancy. Load the output in
+// chrome://tracing or https://ui.perfetto.dev.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	const hostPID, fabricPID = 1, 2
+	events := []chromeEvent{{
+		Name: "process_name", Ph: "M", Pid: hostPID,
+		Args: map[string]any{"name": "hosts"},
+	}}
+	named := map[int]bool{}
+	for _, s := range r.Spans {
+		if !named[s.Node] {
+			named[s.Node] = true
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: hostPID, Tid: s.Node,
+				Args: map[string]any{"name": "node " + strconv.Itoa(s.Node)},
+			})
+		}
+		ev := chromeEvent{
+			Name: chromeName(s.Kind), Ph: "X", Pid: hostPID, Tid: s.Node,
+			Ts: chromeUS(s.Start), Dur: chromeUS(s.End - s.Start),
+		}
+		if s.Label != "" {
+			ev.Args = map[string]any{"label": s.Label}
+		}
+		events = append(events, ev)
+	}
+	if len(r.Hops) > 0 {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: fabricPID,
+			Args: map[string]any{"name": "fabric"},
+		})
+		link := map[int32]bool{}
+		for _, h := range r.Hops {
+			if !link[h.Link] {
+				link[h.Link] = true
+				events = append(events, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: fabricPID, Tid: int(h.Link),
+					Args: map[string]any{"name": "link " + strconv.Itoa(int(h.Link))},
+				})
+			}
+			events = append(events, chromeEvent{
+				Name: "frame " + strconv.Itoa(h.Src) + "→" + strconv.Itoa(h.Dst),
+				Ph:   "X", Pid: fabricPID, Tid: int(h.Link),
+				Ts: chromeUS(h.Start), Dur: chromeUS(h.End - h.Start),
+				Args: map[string]any{"src": h.Src, "dst": h.Dst},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"abred/internal/sim"
+)
+
+func TestWriteChrome(t *testing.T) {
+	us := func(n int64) sim.Time { return sim.Time(n) * sim.Time(time.Microsecond) }
+	rec := &Recorder{}
+	rec.Add(0, KindSync, us(10), us(30), "reduce")
+	rec.Add(1, KindAsync, us(25), us(28), "")
+	rec.AddHop(1, 0, 6, us(12), us(14))
+	rec.AddHop(1, 0, 9, us(13), us(15))
+
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	var procs, threads, spans, hops int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				procs++
+			case "thread_name":
+				threads++
+			}
+		case "X":
+			if ev.Pid == 2 {
+				hops++
+				if ev.Name != "frame 1→0" {
+					t.Errorf("hop name %q", ev.Name)
+				}
+				if ev.Dur != 2 {
+					t.Errorf("hop dur %v µs, want 2", ev.Dur)
+				}
+			} else {
+				spans++
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if procs != 2 || threads != 4 { // hosts+fabric; nodes 0,1 + links 6,9
+		t.Errorf("metadata: %d processes, %d threads", procs, threads)
+	}
+	if spans != 2 || hops != 2 {
+		t.Errorf("%d host spans, %d hop spans", spans, hops)
+	}
+	// The sync span's coordinates survive the µs conversion exactly.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "MPI_Reduce (sync)" {
+			if ev.Ts != 10 || ev.Dur != 20 {
+				t.Errorf("sync span ts=%v dur=%v, want 10/20", ev.Ts, ev.Dur)
+			}
+			if ev.Args["label"] != "reduce" {
+				t.Errorf("label %v", ev.Args["label"])
+			}
+		}
+	}
+}
+
+// TestWriteChromeNoHops: a crossbar recording has no fabric process.
+func TestWriteChromeNoHops(t *testing.T) {
+	rec := &Recorder{}
+	rec.Add(0, KindCompute, 0, 1000, "")
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("fabric")) {
+		t.Error("fabric process emitted without hop spans")
+	}
+}

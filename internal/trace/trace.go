@@ -34,6 +34,7 @@ type Span struct {
 // kernel serializes them).
 type Recorder struct {
 	Spans []Span
+	Hops  []HopSpan // fabric link occupancies (routed topologies only)
 }
 
 // Add records a span.
