@@ -26,7 +26,8 @@ test:
 bench:
 	go run ./cmd/abbench -fig all -ablations -parallel 0 -sweepjson BENCH_sweep.json
 	go run ./cmd/abscale -sizes 32,128,512,1024 -iters 100 -parallel 0 \
-		-toposizes 1024,2048,4096,8192,16384 -topoiters 6 -csv -benchjson BENCH_kernel.json
+		-toposizes 1024,2048,4096,8192,16384 -topoiters 6 \
+		-pdessize 16384 -pdeslps 1,2,4 -pdesiters 6 -csv -benchjson BENCH_kernel.json
 
 # Profile the scaling sweep: CPU and heap profiles of the standard grid,
 # ready for `go tool pprof abscale.cpu.pprof`.

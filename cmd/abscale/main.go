@@ -13,6 +13,7 @@
 //	abscale [-max N | -sizes 32,128,512,1024] [-count N] [-iters N]
 //	        [-bigsizes 2048,4096,8192,16384] [-bigiters N] [-reuse=bool]
 //	        [-toposizes 1024,...,16384] [-topoiters N] [-topo SPEC]
+//	        [-lps N] [-pdessize N] [-pdeslps 1,2,4] [-pdesiters N]
 //	        [-seed N] [-skew D] [-loss P] [-faultseed N] [-parallel N]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-csv] [-benchjson FILE]
 //
@@ -27,7 +28,12 @@
 // paper's ideal crossbar versus the routed fabric named by -topo
 // (default fattree:16), where frames pay per-hop cut-through latency
 // and queue at shared uplinks, plus bypass with the topology-aware
-// reduction tree. -benchjson records the kernel's execution metrics —
+// reduction tree. -lps N partitions every routed-topology simulation
+// into N pod-aligned logical processes run by the conservative parallel
+// kernel (results per LP count are deterministic); -pdessize N adds a
+// dedicated speedup sweep that reruns one N-node simulation on the
+// -topo fabric at each -pdeslps count and reports wall-clock speedup
+// over the monolithic kernel. -benchjson records the kernel's execution metrics —
 // events/sec, allocs/event and peak heap for each sweep, plus the fixed
 // 32-node kernel microbenchmark, the standard grid's pre-reuse baseline
 // and the topology-sweep table — to FILE (the committed
@@ -39,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -111,6 +118,10 @@ func main() {
 	topoSizes := flag.String("toposizes", "", "topology-sweep node counts (\"\" skips it)")
 	topoIters := flag.Int("topoiters", 6, "iterations per topology-sweep data point")
 	topoFlag := flag.String("topo", "fattree:16", "routed fabric the topology sweep compares against the crossbar")
+	lps := flag.Int("lps", 0, "logical processes per simulation (parallel kernel; needs a routed -topo, 0/1 = monolithic)")
+	pdesSize := flag.Int("pdessize", 0, "PDES speedup sweep node count (0 skips it)")
+	pdesLPs := flag.String("pdeslps", "1,2,4", "comma-separated LP counts for the PDES speedup sweep")
+	pdesIters := flag.Int("pdesiters", 6, "iterations per PDES speedup point")
 	reuse := flag.Bool("reuse", true, "reuse built clusters across grid cells (pool + Reset)")
 	seed := flag.Int64("seed", 20030701, "simulation seed")
 	skew := flag.Duration("skew", time.Millisecond, "maximum skew for the skewed sweep")
@@ -158,7 +169,8 @@ func main() {
 		} {
 			t := bench.ScaleProjection(gridSizes, s.skew, *count,
 				bench.Opts{Iters: gridIters, Seed: *seed, Workers: *parallel, Pool: pool,
-					Fault: fault.Config{Seed: *faultSeed, Rule: fault.Rule{Drop: *loss}}})
+					Fault: fault.Config{Seed: *faultSeed, Rule: fault.Rule{Drop: *loss}},
+					LPs:   *lps})
 			t.Title = fmt.Sprintf("%s (%s%s, max skew %v, %d elements, %d iters)",
 				t.Title, grid, s.note, s.skew, *count, gridIters)
 			if *csv {
@@ -184,7 +196,8 @@ func main() {
 		}
 		t := bench.TopoSweep(ts, ft, *skew, *count,
 			bench.Opts{Iters: *topoIters, Seed: *seed, Workers: *parallel, Pool: pool,
-				Fault: fault.Config{Seed: *faultSeed, Rule: fault.Rule{Drop: *loss}}})
+				Fault: fault.Config{Seed: *faultSeed, Rule: fault.Rule{Drop: *loss}},
+				LPs:   *lps})
 		t.Title = fmt.Sprintf("%s (max skew %v, %d elements, %d iters)", t.Title, *skew, *count, *topoIters)
 		if *csv {
 			t.WriteCSV(os.Stdout)
@@ -197,12 +210,55 @@ func main() {
 			Iters: *topoIters, Cols: t.Cols, Nodes: ts, Rows: t.Rows}
 	}
 
+	var pdesDoc *pdesSweepDoc
+	if *pdesSize > 1 {
+		ft, err := topo.ParseSpec(*topoFlag)
+		if err != nil || ft.Kind == topo.Crossbar {
+			fmt.Fprintf(os.Stderr, "abscale: -pdessize needs a routed -topo, got %q\n", *topoFlag)
+			os.Exit(2)
+		}
+		lpsList := parseLPs(*pdesLPs)
+		points := bench.PDESSweep(*pdesSize, ft, *skew, *count, *pdesIters, *seed, lpsList)
+		pdesDoc = &pdesSweepDoc{Fabric: ft.String(), Nodes: *pdesSize, Iters: *pdesIters,
+			MaxSkew: skew.String(), Elements: *count, Cores: runtime.GOMAXPROCS(0),
+			Points: points}
+		base := points[0].WallMS
+		fmt.Printf("PDES speedup sweep — %d nodes on %s, %d iters, %d cores\n",
+			*pdesSize, ft, *pdesIters, pdesDoc.Cores)
+		fmt.Printf("%8s %12s %14s %12s %10s\n", "lps", "wall_ms", "events", "avg_cpu_us", "speedup")
+		for _, p := range points {
+			sp := base / p.WallMS
+			pdesDoc.Speedup = append(pdesDoc.Speedup, sp)
+			fmt.Printf("%8d %12.1f %14d %12.3f %9.2fx\n", p.LPs, p.WallMS, p.Events, p.AvgCPUus, sp)
+		}
+		fmt.Println()
+	}
+
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, sizes, *iters, entries, topoDoc); err != nil {
+		if err := writeBenchJSON(*benchJSON, sizes, *iters, entries, topoDoc, pdesDoc); err != nil {
 			fmt.Fprintf(os.Stderr, "abscale: %v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// parseLPs parses the -pdeslps list (entries ≥ 1; "1" is the
+// monolithic reference point, so parseSizes' ≥ 2 floor doesn't apply).
+func parseLPs(v string) []int {
+	var out []int
+	for _, f := range strings.Split(v, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "abscale: bad -pdeslps entry %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "abscale: -pdeslps must name at least one LP count")
+		os.Exit(2)
+	}
+	return out
 }
 
 // topoSweepDoc is the topology sweep's record in -benchjson output: the
@@ -216,6 +272,22 @@ type topoSweepDoc struct {
 	Cols     []string    `json:"cols"`
 	Nodes    []int       `json:"nodes"`
 	Rows     [][]float64 `json:"rows"`
+}
+
+// pdesSweepDoc is the parallel-kernel speedup sweep's record in
+// -benchjson output: the same large routed simulation run at each LP
+// count, with wall-clock speedup relative to the first (monolithic)
+// point. Virtual-time columns (events, avg_cpu_us, signals) pin each
+// LP count's deterministic result.
+type pdesSweepDoc struct {
+	Fabric   string            `json:"fabric"`
+	Nodes    int               `json:"nodes"`
+	MaxSkew  string            `json:"max_skew"`
+	Elements int               `json:"elements"`
+	Iters    int               `json:"iters"`
+	Cores    int               `json:"cores"` // GOMAXPROCS — speedup ceiling context
+	Points   []bench.PDESPoint `json:"points"`
+	Speedup  []float64         `json:"speedup_vs_first"`
 }
 
 // sameSizes reports whether two size grids are identical.
@@ -234,7 +306,7 @@ func sameSizes(a, b []int) bool {
 // writeBenchJSON records the scaling sweeps' execution metrics plus the
 // fixed kernel microbenchmark, side by side with the recorded
 // pre-overhaul kernel baseline and the pre-reuse sweep baseline.
-func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, topoDoc *topoSweepDoc) error {
+func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, topoDoc *topoSweepDoc, pdesDoc *pdesSweepDoc) error {
 	micro := bench.KernelMicrobench(bench.AppBypass, 50, 20030701)
 	microNab := bench.KernelMicrobench(bench.NonAppBypass, 50, 20030701)
 	doc := struct {
@@ -266,8 +338,10 @@ func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, to
 
 		ScalingPerf []perfEntry   `json:"scaling_sweeps"`
 		TopoSweep   *topoSweepDoc `json:"topo_sweep,omitempty"`
+		PDESSweep   *pdesSweepDoc `json:"pdes_sweep,omitempty"`
 	}{Workload: "32-node Fig. 6 CPU-utilization workload (count=4, skew=1ms, iters=50, seed=20030701)",
-		Sizes: sizes, Iters: iters, Micro: micro, MicroNab: microNab, ScalingPerf: entries, TopoSweep: topoDoc}
+		Sizes: sizes, Iters: iters, Micro: micro, MicroNab: microNab,
+		ScalingPerf: entries, TopoSweep: topoDoc, PDESSweep: pdesDoc}
 	doc.Baseline.EventsPerSec = bench.BaselineEventsPerSec
 	doc.Baseline.AllocsPerEvent = bench.BaselineAllocsPerEvent
 	if doc.Baseline.EventsPerSec > 0 {

@@ -88,6 +88,11 @@ type Config struct {
 	// extension (AppBypass mode only).
 	RendezvousAB bool
 
+	// LPs partitions the simulation into up to LPs logical processes
+	// along topology pod boundaries and runs them in parallel (see
+	// cluster.Config.LPs). 0 or 1 is the monolithic kernel.
+	LPs int
+
 	// Pool, when set, sources the simulated cluster from a reuse pool
 	// instead of building it from scratch: the cluster is Reset under
 	// this config's seed and fault plan (byte-identical to a fresh
@@ -110,7 +115,7 @@ func (c *Config) acquire() (*cluster.Cluster, func()) {
 
 // clusterConfig assembles the cluster construction parameters.
 func (c *Config) clusterConfig() cluster.Config {
-	cc := cluster.Config{Specs: c.Specs, Seed: c.Seed, Fault: c.Fault, Topo: c.Topo}
+	cc := cluster.Config{Specs: c.Specs, Seed: c.Seed, Fault: c.Fault, Topo: c.Topo, LPs: c.LPs}
 	if c.Costs != nil {
 		cc.Costs = *c.Costs
 	}
@@ -206,7 +211,10 @@ func CPUUtil(cfg Config) CPUUtilResult {
 	catchup := cfg.MaxSkew + lat
 
 	perNode := make([]sim.Time, size)
-	var signals uint64
+	// Per-rank signal counts, summed after the run: rank closures may
+	// execute on different LP goroutines, so a shared accumulator would
+	// race under a partitioned kernel.
+	sigs := make([]uint64, size)
 
 	// The hierarchy-aware tree is a pure function of (size, root, leaf
 	// assignment); built once, shared read-only by every rank.
@@ -243,12 +251,16 @@ func CPUUtil(cfg Config) CPUUtilResult {
 			coll.Barrier(w)
 		}
 		perNode[n.ID] = cpu / sim.Time(cfg.Iters)
-		signals += n.Engine.Metrics.SignalsHandled
+		sigs[n.ID] = n.Engine.Metrics.SignalsHandled
 	})
 
 	var total sim.Time
 	for _, c := range perNode {
 		total += c
+	}
+	var signals uint64
+	for _, s := range sigs {
+		signals += s
 	}
 	waits, waitTime := cl.Fabric.TopoStats()
 	return CPUUtilResult{
@@ -256,7 +268,7 @@ func CPUUtil(cfg Config) CPUUtilResult {
 		PerNode:   perNode,
 		Summary:   stats.Summarize(perNode),
 		Signals:   signals,
-		Events:    cl.K.Events(),
+		Events:    cl.Events(),
 		Rel:       relTotals(cl),
 		LinkWaits: waits,
 		LinkWait:  waitTime,

@@ -44,6 +44,12 @@ type Opts struct {
 	// -topo flag); the zero value is the historical single crossbar,
 	// under which every figure reproduces byte-identically.
 	Topo topo.Spec
+
+	// LPs partitions each simulated cluster into up to LPs logical
+	// processes run in parallel (the -lps flag; see cluster.Config.LPs).
+	// Effective only where a routed topology gives the partition pods;
+	// the large-N and topology sweeps thread it through.
+	LPs int
 }
 
 func (o Opts) withDefaults() Opts {
@@ -321,7 +327,8 @@ func ScaleProjection(sizes []int, skew sim.Time, count int, o Opts) *Table {
 	}
 	return pairGrid(t, "scale", [2]string{"nab", "ab"}, floats(sizes), func(xi, j int) Config {
 		return Config{Specs: model.PaperCluster(sizes[xi]), Count: count, Mode: cpuModes[j],
-			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault, Topo: o.Topo}
+			MaxSkew: skew, Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault,
+			Topo: o.Topo, LPs: o.LPs}
 	}, o)
 }
 

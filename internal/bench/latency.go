@@ -92,7 +92,7 @@ func Latency(cfg Config) LatencyResult {
 		AvgLatency: stats.Mean(samples),
 		OneWay:     oneWay,
 		Summary:    stats.Summarize(samples),
-		Events:     cl.K.Events(),
+		Events:     cl.Events(),
 		Rel:        relTotals(cl),
 	}
 }

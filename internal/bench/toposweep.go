@@ -63,7 +63,7 @@ func TopoSweep(sizes []int, ft topo.Spec, skew sim.Time, count int, o Opts) *Tab
 			jobs = append(jobs, topoJob(fmt.Sprintf("topo/x=%d/%s", size, c.name),
 				Config{Specs: specs, Count: count, Mode: c.mode, MaxSkew: skew,
 					Iters: o.Iters, Seed: o.Seed, Pool: o.Pool, Fault: o.Fault,
-					Topo: c.topo, TopoAware: c.hier}))
+					Topo: c.topo, TopoAware: c.hier, LPs: o.LPs}))
 		}
 	}
 	return runGrid(t, floats(sizes), jobs, func(cells [][]float64) []float64 {

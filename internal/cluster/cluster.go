@@ -40,11 +40,20 @@ type Node struct {
 
 // Cluster is a simulated machine room.
 type Cluster struct {
-	K      *sim.Kernel
+	K      *sim.Kernel // kernel of LP 0 — the only kernel when unpartitioned
 	Costs  model.Costs
 	Fabric *fabric.Fabric
 	Topo   *topo.Topology // built interconnect graph; crossbar by default
 	Nodes  []*Node
+
+	// Partitioned (parallel) execution state: Ks holds every logical
+	// process's kernel (length 1 when monolithic; Ks[0] == K), LPs the
+	// actual partition count after clamping to the topology's pods.
+	Ks     []*sim.Kernel
+	LPs    int
+	reqLPs int     // normalized requested count; pool/Reset matching
+	pmap   []int32 // node -> LP, nil when monolithic
+	lpset  *sim.LPSet
 
 	program Program // body of the Run in progress
 	key     poolKey // shape key, computed once for Pool.Put
@@ -68,6 +77,31 @@ type Config struct {
 	// build; anything else compiles a per-cluster fault.Plan, installs
 	// the gm pool hooks, and switches every NIC to reliable delivery.
 	Fault fault.Config
+
+	// LPs requests a partitioned simulation: up to LPs logical processes
+	// split along the topology's pod boundaries, each with its own
+	// kernel, run in parallel under conservative windows (sim.LPSet).
+	// The count is clamped to the topology's pod count, so a crossbar —
+	// which has one pod — always runs monolithic. 0 or 1 keeps the
+	// historical single-kernel path, byte-identical to every prior
+	// build. Like Topo this is a construction-time shape property: Reset
+	// refuses a different count and Pool keys on it.
+	LPs int
+}
+
+// normLPs normalizes a requested LP count: 0 and 1 both mean monolithic.
+func normLPs(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// lpSeed derives LP i's kernel seed. LP 0 keeps the configured seed
+// exactly, so pre-run NewRNG draws (skew matrices and the like, always
+// taken from the first kernel) match a monolithic run bit for bit.
+func lpSeed(seed int64, i int) int64 {
+	return seed ^ int64(i)*0x1E3779B97F4A7C15
 }
 
 // packetPoolCap right-sizes the per-NIC recycled-packet cap for the
@@ -103,17 +137,37 @@ func New(cfg Config) *Cluster {
 	fab := fabric.New(k, len(cfg.Specs), cfg.Costs)
 	tp := topo.Build(cfg.Topo, len(cfg.Specs))
 	fab.SetTopology(tp)
-	if plan := fault.New(cfg.Fault); plan != nil {
-		// Each cluster compiles its own Plan (Plans hold mutable RNG
-		// state, and the sweep engine runs clusters concurrently) and
-		// installs the gm pool hooks so dropped and duplicated frames
-		// keep packet accounting balanced.
-		fab.Inject = plan
-		fab.OnDrop, fab.ClonePayload = gm.FaultHooks()
+	c := &Cluster{K: k, Costs: cfg.Costs, Fabric: fab, Topo: tp,
+		reqLPs: normLPs(cfg.LPs), key: keyOf(cfg)}
+
+	// Partition along pod boundaries when a parallel run was requested;
+	// the clamp leaves crossbars (one pod) monolithic.
+	c.LPs = 1
+	if c.reqLPs > 1 {
+		c.pmap, c.LPs = tp.Partition(c.reqLPs)
+		if c.LPs == 1 {
+			c.pmap = nil
+		}
 	}
-	c := &Cluster{K: k, Costs: cfg.Costs, Fabric: fab, Topo: tp, key: keyOf(cfg)}
+	c.Ks = make([]*sim.Kernel, c.LPs)
+	c.Ks[0] = k
+	for i := 1; i < c.LPs; i++ {
+		c.Ks[i] = sim.New(lpSeed(cfg.Seed, i))
+	}
+	if c.LPs > 1 {
+		fab.SetPartition(c.pmap, c.Ks)
+		c.lpset = sim.NewLPSet(c.Ks, fab.Lookahead(), fab.Exchange)
+	}
+
+	reliable := c.installFaults(cfg.Fault)
 	cms := model.SharedCostModels(cfg.Specs, cfg.Costs)
-	nics := gm.NewNICs(k, cms, fab)
+	var nics []*gm.NIC
+	if c.LPs > 1 {
+		nics = gm.NewNICsPart(c.Ks, c.pmap, cms, fab)
+		fab.Reown = gm.ReownHook(nics)
+	} else {
+		nics = gm.NewNICs(k, cms, fab)
+	}
 	poolCap := packetPoolCap(len(cfg.Specs))
 	nodes := make([]Node, len(cfg.Specs))
 	c.Nodes = make([]*Node, len(cfg.Specs))
@@ -127,12 +181,45 @@ func New(cfg Config) *Cluster {
 		n.cl = c
 		n.pname = "rank" + strconv.Itoa(i)
 		n.spawnFn = n.body
-		if fab.Inject != nil {
+		if reliable {
 			n.NIC.EnableReliability()
 		}
 		c.Nodes[i] = n
 	}
 	return c
+}
+
+// installFaults compiles and installs cfg's fault plan, reporting
+// whether NICs need reliable delivery. Each cluster compiles its own
+// Plan (Plans hold mutable RNG state, and the sweep engine runs
+// clusters concurrently) and installs the gm pool hooks so dropped and
+// duplicated frames keep packet accounting balanced. A partitioned
+// cluster compiles one Plan per LP from a derived fault seed: Judge
+// mutates stream state, and since every frame on a directed link is
+// judged by its source's LP, each per-LP plan still sees its links'
+// complete frame sequences (scripted Nth-frame drops stay exact).
+func (c *Cluster) installFaults(fc fault.Config) bool {
+	if c.LPs > 1 {
+		if !fc.Enabled() {
+			return false
+		}
+		plans := make([]fabric.Injector, c.LPs)
+		for i := range plans {
+			pfc := fc
+			pfc.Seed = lpSeed(fc.Seed, i)
+			plans[i] = fault.New(pfc)
+		}
+		c.Fabric.SetInjectors(plans)
+		c.Fabric.OnDrop, c.Fabric.ClonePayload = gm.FaultHooks()
+		return true
+	}
+	plan := fault.New(fc)
+	if plan == nil {
+		return false
+	}
+	c.Fabric.Inject = plan
+	c.Fabric.OnDrop, c.Fabric.ClonePayload = gm.FaultHooks()
+	return true
 }
 
 // Reset returns the cluster to its just-built state under cfg's seed and
@@ -157,19 +244,20 @@ func (c *Cluster) Reset(cfg Config) {
 		panic(fmt.Sprintf("cluster: Reset with topology %v on a %v cluster",
 			cfg.Topo, c.Topo.Spec()))
 	}
+	if normLPs(cfg.LPs) != c.reqLPs {
+		panic(fmt.Sprintf("cluster: Reset with %d LPs on a %d-LP cluster",
+			normLPs(cfg.LPs), c.reqLPs))
+	}
 	for i, n := range c.Nodes {
 		if cfg.Specs[i] != n.Spec {
 			panic(fmt.Sprintf("cluster: Reset with different spec for node %d", i))
 		}
 	}
-	c.K.Reset(cfg.Seed)
-	c.Fabric.Reset()
-	reliable := false
-	if plan := fault.New(cfg.Fault); plan != nil {
-		c.Fabric.Inject = plan
-		c.Fabric.OnDrop, c.Fabric.ClonePayload = gm.FaultHooks()
-		reliable = true
+	for i, k := range c.Ks {
+		k.Reset(lpSeed(cfg.Seed, i))
 	}
+	c.Fabric.Reset()
+	reliable := c.installFaults(cfg.Fault)
 	for _, n := range c.Nodes {
 		n.NIC.Reset(reliable)
 		n.Proc = nil
@@ -215,10 +303,18 @@ func (n *Node) body(p *sim.Proc) {
 // to execute a follow-up program on the same cluster.
 func (c *Cluster) Run(program Program) sim.Time {
 	c.program = program
-	for _, n := range c.Nodes {
-		c.K.Spawn(n.pname, n.spawnFn)
+	var end sim.Time
+	if c.lpset != nil {
+		for _, n := range c.Nodes {
+			c.Ks[c.pmap[n.ID]].Spawn(n.pname, n.spawnFn)
+		}
+		end = c.lpset.Run()
+	} else {
+		for _, n := range c.Nodes {
+			c.K.Spawn(n.pname, n.spawnFn)
+		}
+		end = c.K.Run()
 	}
-	end := c.K.Run()
 	for _, n := range c.Nodes {
 		if err := n.NIC.RelError(); err != nil {
 			// Graceful degradation for a dead link: the reliability
@@ -230,8 +326,22 @@ func (c *Cluster) Run(program Program) sim.Time {
 	return end
 }
 
+// Events returns the number of simulated events executed, summed over
+// every logical process's kernel.
+func (c *Cluster) Events() uint64 {
+	var ev uint64
+	for _, k := range c.Ks {
+		ev += k.Events()
+	}
+	return ev
+}
+
 // Close shuts the simulation down, unblocking and exiting every parked
 // process — the daemon NIC control programs above all — so back-to-back
 // simulations in one OS process don't accumulate goroutines. The cluster
 // cannot run further programs afterwards.
-func (c *Cluster) Close() { c.K.Shutdown() }
+func (c *Cluster) Close() {
+	for _, k := range c.Ks {
+		k.Shutdown()
+	}
+}

@@ -37,6 +37,7 @@ type poolKey struct {
 	specs uint64
 	costs model.Costs
 	topo  topo.Spec
+	lps   int // normalized requested LP count (1 = monolithic)
 }
 
 // NewPool returns an empty cluster pool.
@@ -65,12 +66,15 @@ func hashSpecs(specs []model.NodeSpec) uint64 {
 
 func keyOf(cfg Config) poolKey {
 	return poolKey{n: len(cfg.Specs), specs: hashSpecs(cfg.Specs),
-		costs: cfg.Costs, topo: cfg.Topo}
+		costs: cfg.Costs, topo: cfg.Topo, lps: normLPs(cfg.LPs)}
 }
 
 // matches reports whether c was built with exactly this shape.
 func (c *Cluster) matches(cfg Config) bool {
 	if len(cfg.Specs) != len(c.Nodes) || cfg.Costs != c.Costs || cfg.Topo != c.Topo.Spec() {
+		return false
+	}
+	if normLPs(cfg.LPs) != c.reqLPs {
 		return false
 	}
 	for i, n := range c.Nodes {

@@ -23,6 +23,7 @@ package fabric
 
 import (
 	"fmt"
+	"sort"
 
 	"abred/internal/model"
 	"abred/internal/sim"
@@ -69,6 +70,24 @@ type Fabric struct {
 	// arithmetic and stays byte-identical.
 	topo     *topo.Topology
 	linkFree []sim.Time // inter-switch link busy-until, indexed by link id
+
+	// Logical-process partition (SetPartition), nil for the monolithic
+	// fabric. pmap maps node -> LP; shards hold each LP's kernel and its
+	// private counters, pools and cross-LP outbox, so concurrent windows
+	// never write shared fabric state. Link and port occupancy arrays
+	// stay shared but are partitioned by ownership: injectFree[src],
+	// up-links and a cross-route's outbox belong to the source LP;
+	// down-links, ejectFree[dst] and delivery belong to the destination
+	// LP, reached only through the barrier exchange.
+	pmap   []int32
+	shards []lpShard
+	xbuf   []xmsg // exchange scratch: all shards' outboxes, merge-sorted
+
+	// Reown, when non-nil, transfers ownership of a cross-LP frame's
+	// payload to its destination at exchange time (pooled payloads must
+	// never recycle across LPs). Installed at cluster construction; a
+	// construction-time property like the topology, surviving Reset.
+	Reown func(payload any, dst int)
 
 	dfree []*delivery // recycled in-flight frame records
 
@@ -127,6 +146,17 @@ func (f *Fabric) Reset() {
 	f.Inject = nil
 	f.OnDrop = nil
 	f.ClonePayload = nil
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.inject = nil
+		sh.frames, sh.bytes, sh.dropped, sh.duplicated = 0, 0, 0, 0
+		sh.linkWaits, sh.linkWaitTime = 0, 0
+		for j := range sh.outbox {
+			sh.outbox[j] = xmsg{}
+		}
+		sh.outbox = sh.outbox[:0]
+		sh.seq = 0
+	}
 }
 
 // SetTopology installs a multi-stage topology. A nil topology, or one
@@ -166,14 +196,21 @@ func (f *Fabric) Hops(src, dst int) int {
 // how many link occupancies had to wait for a busy link and the total
 // time so spent. Both zero on the crossbar.
 func (f *Fabric) TopoStats() (waits uint64, waitTime sim.Time) {
-	return f.linkWaits, f.linkWaitTime
+	waits, waitTime = f.linkWaits, f.linkWaitTime
+	for i := range f.shards {
+		waits += f.shards[i].linkWaits
+		waitTime += f.shards[i].linkWaitTime
+	}
+	return waits, waitTime
 }
 
 // delivery is one frame in flight: a pooled sim.Runner, so scheduling a
 // delivery allocates nothing in steady state (the old closure-per-frame
-// was two heap allocations: the closure and the escaped frame).
+// was two heap allocations: the closure and the escaped frame). sh is
+// the owning LP shard on a partitioned fabric, nil monolithic.
 type delivery struct {
 	f  *Fabric
+	sh *lpShard
 	fr Frame
 }
 
@@ -183,11 +220,91 @@ func (d *delivery) RunEvent() {
 	// Recycle before invoking the sink: the sink may send a new frame,
 	// which can then reuse this record.
 	d.fr = Frame{}
-	f.dfree = append(f.dfree, d)
+	if d.sh != nil {
+		d.sh.dfree = append(d.sh.dfree, d)
+	} else {
+		f.dfree = append(f.dfree, d)
+	}
 	if f.OnDeliver != nil {
 		f.OnDeliver(fr)
 	}
 	f.sinks[fr.Dst](fr)
+}
+
+// lpShard is one LP's slice of the fabric: its kernel, fault injector,
+// counters, pooled in-flight records and the outbox collecting this
+// window's cross-LP sends. All fields are touched only by the owning
+// LP's goroutine during a window, and only by the coordinator (via
+// Exchange / Stats) between windows.
+type lpShard struct {
+	k      *sim.Kernel
+	inject Injector
+
+	frames       uint64
+	bytes        uint64
+	dropped      uint64
+	duplicated   uint64
+	linkWaits    uint64
+	linkWaitTime sim.Time
+
+	dfree  []*delivery
+	cfree  []*crossing
+	outbox []xmsg
+	seq    uint64 // per-shard cross-LP send counter, part of the merge key
+}
+
+// xmsg is one cross-LP frame at its handoff point: the head has cleared
+// the source pod's up-links and is about to enter the destination pod's
+// first down-link at time t. (lp, seq) complete the deterministic merge
+// key — two handoffs at the same instant order by source LP, then by
+// that LP's send sequence.
+type xmsg struct {
+	t     sim.Time
+	fr    Frame
+	ser   sim.Time
+	extra sim.Time
+	lp    int32
+	seq   uint64
+}
+
+// crossing resumes a cross-LP frame on its destination LP: a pooled
+// Runner scheduled at the handoff time, which walks the down-links and
+// charges the ejection port exactly as the monolithic traverse would
+// have at that same instant.
+type crossing struct {
+	f     *Fabric
+	sh    *lpShard // destination shard
+	fr    Frame
+	ser   sim.Time
+	extra sim.Time
+}
+
+// RunEvent continues the traversal at the handoff time (dst scheduler
+// context).
+func (c *crossing) RunEvent() {
+	f, sh := c.f, c.sh
+	fr, ser, extra := c.fr, c.ser, c.extra
+	c.fr = Frame{}
+	sh.cfree = append(sh.cfree, c)
+
+	head := sh.k.Now()
+	var p topo.Path
+	f.topo.Route(fr.Src, fr.Dst, &p)
+	for i := p.N / 2; i < p.N; i++ {
+		li := p.Links[i]
+		if free := f.linkFree[li]; free > head {
+			sh.linkWaits++
+			sh.linkWaitTime += free - head
+			head = free
+		}
+		end := head + ser
+		f.linkFree[li] = end
+		if f.OnHop != nil {
+			f.OnHop(fr, li, head, end)
+		}
+		head += f.costs.WireProp + f.costs.SwitchHop
+	}
+	f.finishEject(sh, fr, head, ser, extra)
 }
 
 // Nodes returns the number of attached nodes.
@@ -218,6 +335,10 @@ func (f *Fabric) Send(frame Frame) {
 	}
 	if f.sinks[frame.Dst] == nil {
 		panic(fmt.Sprintf("fabric: node %d not connected", frame.Dst))
+	}
+	if f.pmap != nil {
+		f.sendLP(frame)
+		return
 	}
 	now := f.k.Now()
 	frame.SentAt = now
@@ -321,8 +442,263 @@ func (f *Fabric) traverse(frame Frame, head, ser sim.Time) sim.Time {
 	return head
 }
 
-// Stats reports total frames and bytes injected so far.
-func (f *Fabric) Stats() (frames, bytes uint64) { return f.frames, f.bytes }
+// SetPartition installs a logical-process partition: pmap maps each
+// node to an LP in [0, len(ks)), and ks[i] is LP i's kernel. A
+// single-kernel (or nil) partition restores the monolithic path.
+// Partitioning requires a routed topology whose pod boundaries pmap
+// follows (see topo.Partition): the conservative handoff relies on
+// every inter-LP route crossing the full climb, so its up-links belong
+// to the source pod and its down-links to the destination pod. The
+// partition is a construction-time property and survives Reset. Trace
+// hooks (OnDeliver, OnHop) fire on LP goroutines when partitioned; they
+// are meant for single-LP diagnostics.
+func (f *Fabric) SetPartition(pmap []int32, ks []*sim.Kernel) {
+	if len(ks) <= 1 {
+		f.pmap = nil
+		f.shards = nil
+		return
+	}
+	if f.topo == nil {
+		panic("fabric: partition requires a routed topology")
+	}
+	if len(pmap) != len(f.sinks) {
+		panic(fmt.Sprintf("fabric: partition map for %d nodes on a %d-node fabric",
+			len(pmap), len(f.sinks)))
+	}
+	f.pmap = pmap
+	f.shards = make([]lpShard, len(ks))
+	for i := range f.shards {
+		f.shards[i].k = ks[i]
+	}
+}
 
-// FaultStats reports frames the injector dropped or duplicated.
-func (f *Fabric) FaultStats() (dropped, duplicated uint64) { return f.dropped, f.duplicated }
+// SetInjectors installs one fault injector per LP shard. A partitioned
+// fabric must not share one injector: Judge mutates stream state, and
+// every send on a link (src, dst) originates on LP(src), so a per-LP
+// plan still sees each link's complete frame sequence in order.
+func (f *Fabric) SetInjectors(injs []Injector) {
+	if len(injs) != len(f.shards) {
+		panic(fmt.Sprintf("fabric: %d injectors for %d LP shards", len(injs), len(f.shards)))
+	}
+	for i := range f.shards {
+		f.shards[i].inject = injs[i]
+	}
+}
+
+// Lookahead returns the minimum virtual-time distance between a
+// cross-LP send and its first effect on the destination pod: a
+// cross-pod frame's head pays at least the host cable into its leaf
+// plus one up-link crossing — two (propagation + switch-stage) charges
+// — before touching any destination-owned link, so conservative windows
+// of this width are safe.
+func (f *Fabric) Lookahead() sim.Time {
+	return 2 * (f.costs.WireProp + f.costs.SwitchHop)
+}
+
+// MaxHops returns the largest switch-crossing count Hops can report on
+// this fabric — the bound reliability uses to size hop-indexed tables.
+func (f *Fabric) MaxHops() int {
+	if f.topo == nil {
+		return 1
+	}
+	return 2*(f.topo.Levels()-1) + 1
+}
+
+// sendLP is Send on a partitioned fabric: identical arithmetic, but all
+// mutable state is either owned by the source LP (injection link,
+// up-links, shard counters) or reached through the handoff (everything
+// at the destination).
+func (f *Fabric) sendLP(frame Frame) {
+	sh := &f.shards[f.pmap[frame.Src]]
+	now := sh.k.Now()
+	frame.SentAt = now
+
+	depart := now
+	if f.injectFree[frame.Src] > depart {
+		depart = f.injectFree[frame.Src]
+	}
+	ser := f.serialize(frame.Size)
+	depart += ser
+	f.injectFree[frame.Src] = depart
+
+	sh.frames++
+	sh.bytes += uint64(frame.Size)
+
+	if sh.inject != nil {
+		v := sh.inject.Judge(frame.Src, frame.Dst)
+		if v.Drop {
+			sh.dropped++
+			if f.OnDrop != nil {
+				f.OnDrop(frame)
+			}
+			return
+		}
+		f.ejectLP(sh, frame, depart, ser, v.Delay)
+		if v.Dup {
+			dup := frame
+			if f.ClonePayload != nil {
+				dup.Payload = f.ClonePayload(frame.Payload)
+			}
+			sh.duplicated++
+			f.ejectLP(sh, dup, depart, ser, v.Delay)
+		}
+		return
+	}
+	f.ejectLP(sh, frame, depart, ser, 0)
+}
+
+// ejectLP walks the frame's head as far as the source LP owns it. An
+// intra-LP frame completes exactly like the monolithic path; a cross-LP
+// frame traverses its up-links (source-pod property) and parks in the
+// shard outbox at the instant its head would enter the first down-link,
+// to be resumed on the destination LP at that time via Exchange.
+func (f *Fabric) ejectLP(sh *lpShard, frame Frame, depart, ser, extra sim.Time) {
+	head := depart - ser
+	if frame.Src != frame.Dst {
+		dstLP := f.pmap[frame.Dst]
+		if f.pmap[frame.Src] != dstLP {
+			head += f.costs.WireProp + f.costs.SwitchHop
+			var p topo.Path
+			f.topo.Route(frame.Src, frame.Dst, &p)
+			for i := 0; i < p.N/2; i++ {
+				li := p.Links[i]
+				if free := f.linkFree[li]; free > head {
+					sh.linkWaits++
+					sh.linkWaitTime += free - head
+					head = free
+				}
+				end := head + ser
+				f.linkFree[li] = end
+				if f.OnHop != nil {
+					f.OnHop(frame, li, head, end)
+				}
+				head += f.costs.WireProp + f.costs.SwitchHop
+			}
+			sh.outbox = append(sh.outbox, xmsg{t: head, fr: frame, ser: ser,
+				extra: extra, lp: f.pmap[frame.Src], seq: sh.seq})
+			sh.seq++
+			return
+		}
+		if f.topo != nil {
+			head = f.traverseLP(sh, frame, head, ser)
+		} else {
+			head += f.costs.WireProp + f.costs.SwitchHop
+		}
+	}
+	f.finishEject(sh, frame, head, ser, extra)
+}
+
+// traverseLP is traverse with contention accounting on the shard; every
+// link an intra-LP route touches belongs to this LP's pods.
+func (f *Fabric) traverseLP(sh *lpShard, frame Frame, head, ser sim.Time) sim.Time {
+	head += f.costs.WireProp + f.costs.SwitchHop
+	var p topo.Path
+	f.topo.Route(frame.Src, frame.Dst, &p)
+	for i := 0; i < p.N; i++ {
+		li := p.Links[i]
+		if free := f.linkFree[li]; free > head {
+			sh.linkWaits++
+			sh.linkWaitTime += free - head
+			head = free
+		}
+		end := head + ser
+		f.linkFree[li] = end
+		if f.OnHop != nil {
+			f.OnHop(frame, li, head, end)
+		}
+		head += f.costs.WireProp + f.costs.SwitchHop
+	}
+	return head
+}
+
+// finishEject charges the destination's ejection link and schedules
+// delivery on the destination LP's kernel, from that shard's pools.
+func (f *Fabric) finishEject(sh *lpShard, frame Frame, head, ser, extra sim.Time) {
+	if f.ejectFree[frame.Dst] > head {
+		head = f.ejectFree[frame.Dst]
+	}
+	arrive := head + ser
+	f.ejectFree[frame.Dst] = arrive
+
+	var dl *delivery
+	if n := len(sh.dfree); n > 0 {
+		dl = sh.dfree[n-1]
+		sh.dfree[n-1] = nil
+		sh.dfree = sh.dfree[:n-1]
+	} else {
+		dl = &delivery{f: f, sh: sh}
+	}
+	dl.fr = frame
+	sh.k.AfterRunner(arrive+extra-sh.k.Now(), dl)
+}
+
+// Exchange delivers the cross-LP frames the last window produced. It
+// runs at the window barrier with every LP quiescent: all outboxes are
+// merged and sorted by (handoff time, source LP, send sequence) — a key
+// that depends only on virtual execution, never on goroutine
+// interleaving — then each frame's payload is re-owned to its
+// destination and a crossing is scheduled on the destination kernel at
+// the handoff time. Scheduling in sorted order makes the destination's
+// event-sequence assignment deterministic, which pins the relative
+// order of same-instant arrivals from different LPs.
+func (f *Fabric) Exchange() {
+	f.xbuf = f.xbuf[:0]
+	for i := range f.shards {
+		sh := &f.shards[i]
+		f.xbuf = append(f.xbuf, sh.outbox...)
+		for j := range sh.outbox {
+			sh.outbox[j] = xmsg{}
+		}
+		sh.outbox = sh.outbox[:0]
+	}
+	sort.Slice(f.xbuf, func(a, b int) bool {
+		x, y := &f.xbuf[a], &f.xbuf[b]
+		if x.t != y.t {
+			return x.t < y.t
+		}
+		if x.lp != y.lp {
+			return x.lp < y.lp
+		}
+		return x.seq < y.seq
+	})
+	for i := range f.xbuf {
+		m := &f.xbuf[i]
+		if f.Reown != nil {
+			f.Reown(m.fr.Payload, m.fr.Dst)
+		}
+		sh := &f.shards[f.pmap[m.fr.Dst]]
+		var c *crossing
+		if n := len(sh.cfree); n > 0 {
+			c = sh.cfree[n-1]
+			sh.cfree[n-1] = nil
+			sh.cfree = sh.cfree[:n-1]
+		} else {
+			c = &crossing{f: f, sh: sh}
+		}
+		c.fr, c.ser, c.extra = m.fr, m.ser, m.extra
+		sh.k.ScheduleRunnerAt(m.t, c)
+		m.fr = Frame{}
+	}
+}
+
+// Stats reports total frames and bytes injected so far, summed across
+// LP shards on a partitioned fabric.
+func (f *Fabric) Stats() (frames, bytes uint64) {
+	frames, bytes = f.frames, f.bytes
+	for i := range f.shards {
+		frames += f.shards[i].frames
+		bytes += f.shards[i].bytes
+	}
+	return frames, bytes
+}
+
+// FaultStats reports frames the injector dropped or duplicated, summed
+// across LP shards on a partitioned fabric.
+func (f *Fabric) FaultStats() (dropped, duplicated uint64) {
+	dropped, duplicated = f.dropped, f.duplicated
+	for i := range f.shards {
+		dropped += f.shards[i].dropped
+		duplicated += f.shards[i].duplicated
+	}
+	return dropped, duplicated
+}

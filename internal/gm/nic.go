@@ -237,6 +237,32 @@ func NewNICs(k *sim.Kernel, cms []model.CostModel, fab *fabric.Fabric) []*NIC {
 	return nics
 }
 
+// NewNICsPart is NewNICs for a partitioned cluster: one slab, but each
+// NIC runs on the kernel of its node's logical process (ks[pmap[i]]),
+// so its control program, queues and reliability daemon all live where
+// the node's events execute.
+func NewNICsPart(ks []*sim.Kernel, pmap []int32, cms []model.CostModel, fab *fabric.Fabric) []*NIC {
+	slab := make([]NIC, len(cms))
+	nics := make([]*NIC, len(cms))
+	for i := range slab {
+		slab[i].init(ks[pmap[i]], i, cms[i], fab)
+		nics[i] = &slab[i]
+	}
+	return nics
+}
+
+// ReownHook returns the fabric Reown hook for a partitioned cluster:
+// a pooled packet crossing LPs is transferred to its destination's NIC
+// pool, so PutPacket at the consumer never touches a pool owned by
+// another LP. Literal (unpooled) packets pass through untouched.
+func ReownHook(nics []*NIC) func(payload any, dst int) {
+	return func(payload any, dst int) {
+		if pkt, ok := payload.(*Packet); ok && pkt.owner != nil {
+			pkt.owner = nics[dst]
+		}
+	}
+}
+
 // init wires one NIC in place and starts its control program.
 func (n *NIC) init(k *sim.Kernel, node int, cm model.CostModel, fab *fabric.Fabric) {
 	n.k = k

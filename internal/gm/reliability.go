@@ -82,7 +82,6 @@ type relLink struct {
 	ring    []*relEntry // unacked packets, in sequence order
 	rtxAt   sim.Time    // retransmit deadline (0 = ring empty)
 	rto     sim.Time    // current timeout, backoff applied
-	rto0    sim.Time    // hop-scaled base timeout, cached (0 = not yet computed)
 	rounds  int         // consecutive timeout rounds without progress
 
 	// Receiver side.
@@ -115,6 +114,13 @@ type relState struct {
 	links  []relLink
 	active []int // peers with a pending deadline
 	efree  []*relEntry
+
+	// rto0 is the hop-scaled base retransmit timeout, indexed by routed
+	// switch-crossing count. Built once at wire-up (the topology is a
+	// construction-time property), so linkRTO is a pure read — safe from
+	// any logical process without lazy per-link recomputation, and O(max
+	// hops) rather than O(peers) to build.
+	rto0 []sim.Time
 }
 
 // EnableReliability switches the NIC to reliable delivery (see the
@@ -135,6 +141,13 @@ func (n *NIC) EnableReliability() {
 		return
 	}
 	r := &relState{n: n, links: make([]relLink, n.fab.Nodes())}
+	r.rto0 = make([]sim.Time, n.fab.MaxHops()+1)
+	for h := range r.rto0 {
+		r.rto0[h] = relBaseRTO
+		if h > 1 {
+			r.rto0[h] += sim.Time(h-1) * relHopRTO
+		}
+	}
 	r.d = n.k.NewDaemon(fmt.Sprintf("gmrel%d", n.node), r.step)
 	r.d.SetStatus("rel timers")
 	n.rel = r
@@ -220,7 +233,7 @@ func (r *relState) sequence(pkt *Packet, fromHost bool) bool {
 	}
 	l.ring = append(l.ring, e)
 	if l.rtxAt == 0 {
-		l.rto = r.linkRTO(pkt.DstNode, l)
+		l.rto = r.linkRTO(pkt.DstNode)
 		l.rtxAt = r.n.k.Now() + l.rto
 		r.activate(pkt.DstNode, l, l.rtxAt)
 	}
@@ -228,16 +241,11 @@ func (r *relState) sequence(pkt *Packet, fromHost bool) bool {
 }
 
 // linkRTO returns the link's base retransmit timeout, scaled by the
-// routed hop count to the peer and cached. On the single crossbar every
-// link answers in one crossing and the result is exactly relBaseRTO.
-func (r *relState) linkRTO(peer int, l *relLink) sim.Time {
-	if l.rto0 == 0 {
-		l.rto0 = relBaseRTO
-		if h := r.n.fab.Hops(r.n.node, peer); h > 1 {
-			l.rto0 += sim.Time(h-1) * relHopRTO
-		}
-	}
-	return l.rto0
+// routed hop count to the peer — a pure read of the table built at
+// wire-up. On the single crossbar every link answers in one crossing
+// and the result is exactly relBaseRTO.
+func (r *relState) linkRTO(peer int) sim.Time {
+	return r.rto0[r.n.fab.Hops(r.n.node, peer)]
 }
 
 // accept runs in the control program's receive path. It reports whether
@@ -300,7 +308,7 @@ func (r *relState) onAck(peer int, l *relLink, ackTo uint64) {
 	}
 	l.ring = l.ring[:m]
 	l.rounds = 0
-	l.rto = r.linkRTO(peer, l)
+	l.rto = r.linkRTO(peer)
 	if len(l.ring) == 0 {
 		l.rtxAt = 0
 	} else {

@@ -104,13 +104,12 @@ func TestHopScaledRTO(t *testing.T) {
 		{15, 7}, // across the full three-tier spine
 	}
 	for _, tc := range cases {
-		l := &r.links[tc.peer]
 		want := relBaseRTO + sim.Time(tc.hops-1)*relHopRTO
-		if got := r.linkRTO(tc.peer, l); got != want {
+		if got := r.linkRTO(tc.peer); got != want {
 			t.Errorf("linkRTO to %d = %v, want %v (%d hops)", tc.peer, got, want, tc.hops)
 		}
-		// Cached: a second call must return the same value.
-		if got := r.linkRTO(tc.peer, l); got != want {
+		// The table is built once at wire-up: a second read must agree.
+		if got := r.linkRTO(tc.peer); got != want {
 			t.Errorf("cached linkRTO to %d = %v, want %v", tc.peer, got, want)
 		}
 	}
@@ -122,8 +121,7 @@ func TestHopScaledRTO(t *testing.T) {
 func TestCrossbarRTOUnchanged(t *testing.T) {
 	k, a, _ := lossyPair(9, fault.Config{})
 	_ = k
-	l := &a.rel.links[1]
-	if got := a.rel.linkRTO(1, l); got != relBaseRTO {
+	if got := a.rel.linkRTO(1); got != relBaseRTO {
 		t.Errorf("crossbar linkRTO = %v, want relBaseRTO %v", got, relBaseRTO)
 	}
 }

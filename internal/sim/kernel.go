@@ -57,6 +57,18 @@ type Kernel struct {
 	rng     *rand.Rand
 	nstream int64
 
+	// Logical-process identity, set when the kernel is one LP of a
+	// partitioned simulation (see lp.go). lpmode disables the
+	// only-daemons-remain early exit — an LP whose own ranks finished
+	// must keep answering cross-LP traffic until the LPSet declares the
+	// global end — and lphorizon bounds one conservative window: the
+	// dispatch loop stops before executing any event at or past it.
+	// Both are zero on a monolithic kernel, whose behavior is untouched.
+	lp        int
+	lptag     string // " [lpN]" suffix for deadlock reports, "" monolithic
+	lpmode    bool
+	lphorizon Time
+
 	panicked any
 	stopped  bool
 	shutdown bool
@@ -188,6 +200,12 @@ func (k *Kernel) dispatch(self *Proc) (res int) {
 		}
 	}()
 	for len(k.events) > 0 && !k.stopped {
+		if k.lphorizon != 0 && k.events[0].t >= k.lphorizon {
+			// Conservative window boundary: events at or past the horizon
+			// may still be preceded by cross-LP arrivals, so they wait for
+			// the next window. (Canceled entries past the horizon just sit.)
+			return dispatchQuiet
+		}
 		ev := k.events.pop()
 		if ev.canceled {
 			k.ncanceled--
@@ -227,7 +245,7 @@ func (k *Kernel) dispatch(self *Proc) (res int) {
 		if k.panicked != nil {
 			return dispatchQuiet
 		}
-		if k.ndEver && k.ndCount == 0 {
+		if k.ndExit() {
 			// Only daemons (NIC control programs, tickers) remain; the
 			// simulation proper is over even if they keep scheduling.
 			return dispatchQuiet
@@ -243,7 +261,7 @@ func (k *Kernel) dispatch(self *Proc) (res int) {
 // only daemons remain — it wakes the Run goroutine, which owns the
 // final verdict.
 func (k *Kernel) handoff(self *Proc) bool {
-	if k.panicked == nil && !(k.ndEver && k.ndCount == 0) {
+	if k.panicked == nil && !k.ndExit() {
 		switch k.dispatch(self) {
 		case dispatchSelf:
 			return true
@@ -272,6 +290,57 @@ func (k *Kernel) Run() Time {
 		panic("sim: deadlock at t=" + k.now.String() + ":\n" + k.stuckReport())
 	}
 	return k.now
+}
+
+// ndExit reports whether the kernel may exit its loop because only
+// daemons remain. An LP kernel never exits on this condition alone:
+// ranks on other LPs may still send it traffic its daemons must answer,
+// so the global only-daemons-remain verdict belongs to the LPSet.
+func (k *Kernel) ndExit() bool { return !k.lpmode && k.ndEver && k.ndCount == 0 }
+
+// SetLP marks the kernel as logical process lp of a partitioned
+// simulation: the only-daemons-remain early exit is disabled (the LPSet
+// decides the global end) and deadlock reports carry the LP number.
+func (k *Kernel) SetLP(lp int) {
+	k.lp = lp
+	k.lptag = fmt.Sprintf(" [lp%d]", lp)
+	k.lpmode = true
+}
+
+// NextEventTime returns the timestamp of the kernel's earliest pending
+// event, skimming canceled entries off the heap top. ok is false when no
+// live events remain. Called by the LPSet between windows to compute the
+// next conservative horizon.
+func (k *Kernel) NextEventTime() (t Time, ok bool) {
+	for len(k.events) > 0 {
+		ev := k.events[0]
+		if !ev.canceled {
+			return ev.t, true
+		}
+		k.events.pop()
+		k.ncanceled--
+		k.recycle(ev)
+	}
+	return 0, false
+}
+
+// ScheduleRunnerAt schedules r.RunEvent at absolute virtual time t —
+// the entry point for cross-LP arrivals delivered at a window barrier.
+// t earlier than the kernel clock clamps to now (newEvent's rule), but a
+// conservative exchange never needs the clamp: arrivals land at or past
+// the horizon, and the receiving kernel's clock cannot have passed it.
+func (k *Kernel) ScheduleRunnerAt(t Time, r Runner) { k.scheduleRunner(t, r) }
+
+// RunWindow drains events strictly before horizon, leaving later events
+// (and any deadlock/global-end verdict) to the caller. Unlike Run it
+// does not panic on captured panics or deadlock — the LPSet coordinator
+// owns those, aggregated across all LPs.
+func (k *Kernel) RunWindow(horizon Time) {
+	k.lphorizon = horizon
+	if k.dispatch(nil) == dispatchOther {
+		<-k.runDone
+	}
+	k.lphorizon = 0
 }
 
 // Stop makes Run return after the current event completes. Parked
@@ -382,7 +451,7 @@ func (k *Kernel) stuckReport() string {
 		if p.daemon {
 			daemons++
 			if len(dsample) < 4 {
-				dsample = append(dsample, fmt.Sprintf("%q on %q", p.name, p.reason))
+				dsample = append(dsample, fmt.Sprintf("%q%s on %q", p.name, k.lptag, p.reason))
 			}
 			continue
 		}
@@ -391,7 +460,7 @@ func (k *Kernel) stuckReport() string {
 			continue
 		}
 		shown++
-		fmt.Fprintf(&b, "  proc %d %q parked on %q for %v\n", p.id, p.name, p.reason, k.now-p.parkedAt)
+		fmt.Fprintf(&b, "  proc %d%s %q parked on %q for %v\n", p.id, k.lptag, p.name, p.reason, k.now-p.parkedAt)
 	}
 	if omitted > 0 {
 		fmt.Fprintf(&b, "  (+%d more procs parked)\n", omitted)
@@ -411,7 +480,7 @@ func (k *Kernel) stuckReport() string {
 		}
 		idle++
 		if len(csample) < 4 && d.status != "" {
-			csample = append(csample, fmt.Sprintf("%q on %q", d.name, d.status))
+			csample = append(csample, fmt.Sprintf("%q%s on %q", d.name, k.lptag, d.status))
 		}
 	}
 	if idle > 0 {

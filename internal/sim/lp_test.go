@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fnRunner adapts a closure to the Runner interface for tests.
+type fnRunner func()
+
+func (f fnRunner) RunEvent() { f() }
+
+// lpHarness is a minimal cross-LP transport for tests: each LP appends
+// posts to its outbox during a window; the exchange hook sorts them by
+// (t, lp, seq) and schedules each on the destination kernel — the same
+// deterministic merge the fabric performs.
+type lpHarness struct {
+	ks    []*Kernel
+	boxes [][]lpPost
+}
+
+type lpPost struct {
+	t   Time
+	dst int
+	fn  func()
+	lp  int
+	seq uint64
+}
+
+func newLPHarness(n int, seed int64) *lpHarness {
+	h := &lpHarness{ks: make([]*Kernel, n), boxes: make([][]lpPost, n)}
+	for i := range h.ks {
+		h.ks[i] = New(seed + int64(i))
+	}
+	return h
+}
+
+// post schedules fn on LP dst at absolute time t; callable only from
+// goroutines of LP src during a window.
+func (h *lpHarness) post(src, dst int, t Time, fn func()) {
+	h.boxes[src] = append(h.boxes[src], lpPost{t: t, dst: dst, fn: fn,
+		lp: src, seq: uint64(len(h.boxes[src]))})
+}
+
+func (h *lpHarness) exchange() {
+	var all []lpPost
+	for i := range h.boxes {
+		all = append(all, h.boxes[i]...)
+		h.boxes[i] = h.boxes[i][:0]
+	}
+	// Insertion sort by (t, lp, seq): tiny windows, deterministic order.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &all[j-1], &all[j]
+			if a.t < b.t || (a.t == b.t && (a.lp < b.lp || (a.lp == b.lp && a.seq < b.seq))) {
+				break
+			}
+			all[j-1], all[j] = all[j], all[j-1]
+		}
+	}
+	for _, m := range all {
+		m := m
+		h.ks[m.dst].ScheduleRunnerAt(m.t, fnRunner(m.fn))
+	}
+}
+
+// TestLPSetPingPong: two LPs exchange a token through the windowed
+// protocol; the result (rounds completed, final virtual time) must be
+// exact and stable across repeated runs regardless of goroutine
+// interleaving.
+func TestLPSetPingPong(t *testing.T) {
+	const L = 10 * time.Microsecond
+	const rounds = 20
+	run := func() Time {
+		h := newLPHarness(2, 1)
+		q0 := NewQueue[int]("q0")
+		q1 := NewQueue[int]("q1")
+		h.ks[0].Spawn("ping", func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				h.post(0, 1, p.Now()+L, func() { q1.Put(r) })
+				if got := q0.Get(p); got != r {
+					t.Errorf("round %d: ping got %d", r, got)
+				}
+			}
+		})
+		h.ks[1].Spawn("pong", func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				v := q1.Get(p)
+				h.post(1, 0, p.Now()+L, func() { q0.Put(v) })
+			}
+		})
+		return NewLPSet(h.ks, L, h.exchange).Run()
+	}
+	end := run()
+	// Each round costs one L per direction.
+	if want := Time(2 * rounds * L); end != want {
+		t.Errorf("end = %v, want %v", end, want)
+	}
+	for i := 0; i < 10; i++ {
+		if again := run(); again != end {
+			t.Fatalf("run %d ended at %v, first at %v", i, again, end)
+		}
+	}
+}
+
+// TestLPSetSingleKernelDelegates: a one-kernel set must behave exactly
+// like Kernel.Run — including leaving the kernel unmarked, so deadlock
+// reports carry no LP tag.
+func TestLPSetSingleKernelDelegates(t *testing.T) {
+	k := New(1)
+	k.Spawn("app", func(p *Proc) { p.Sleep(3 * time.Microsecond) })
+	if end := NewLPSet([]*Kernel{k}, 0, func() {}).Run(); end != 3*time.Microsecond {
+		t.Errorf("end = %v", end)
+	}
+
+	k2 := New(1)
+	k2.Spawn("stuck", func(p *Proc) { NewQueue[int]("noone").Get(p) })
+	defer func() {
+		msg, _ := recover().(string)
+		if msg == "" || !strings.Contains(msg, "deadlock") {
+			t.Fatalf("no deadlock panic: %v", msg)
+		}
+		if strings.Contains(msg, "lp0") {
+			t.Errorf("single-kernel report carries an LP tag:\n%s", msg)
+		}
+	}()
+	NewLPSet([]*Kernel{k2}, 0, func() {}).Run()
+}
+
+// TestLPSetDeadlockReportNamesLP: when a partitioned run deadlocks, the
+// aggregated stuck report must say which LP each parked process lives
+// on.
+func TestLPSetDeadlockReportNamesLP(t *testing.T) {
+	h := newLPHarness(2, 1)
+	h.ks[0].Spawn("finisher", func(p *Proc) { p.Sleep(time.Microsecond) })
+	h.ks[1].Spawn("stuck", func(p *Proc) { NewQueue[int]("noone").Get(p) })
+	defer func() {
+		msg, _ := recover().(string)
+		if msg == "" || !strings.Contains(msg, "deadlock") {
+			t.Fatalf("no deadlock panic: %v", msg)
+		}
+		for _, want := range []string{"lp1", "[lp1]", "stuck", "noone"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("report missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	NewLPSet(h.ks, 10*time.Microsecond, h.exchange).Run()
+}
+
+// TestLPSetPanicPropagates: a panic on any LP surfaces from LPSet.Run,
+// like Kernel.Run does for the monolithic kernel.
+func TestLPSetPanicPropagates(t *testing.T) {
+	h := newLPHarness(2, 1)
+	h.ks[0].Spawn("fine", func(p *Proc) { p.Sleep(time.Millisecond) })
+	h.ks[1].Spawn("bomb", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		panic("boom on lp1")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom on lp1") {
+			t.Fatalf("wrong panic: %v", r)
+		}
+	}()
+	NewLPSet(h.ks, 10*time.Microsecond, h.exchange).Run()
+}
+
+// TestQueueGetTimeoutVsCrossLPPut: a Put delivered from another LP
+// landing on exactly the waiter's timeout tick must deliver the item
+// exactly once, whichever event the kernel orders first. The two
+// subtests construct both same-tick orders: the timeout event armed
+// before the cross-LP crossing was scheduled (timeout fires first), and
+// armed after (the Put fires first).
+func TestQueueGetTimeoutVsCrossLPPut(t *testing.T) {
+	const L = 10 * time.Microsecond
+	t.Run("timeout-armed-first", func(t *testing.T) {
+		h := newLPHarness(2, 1)
+		q := NewQueue[int]("q")
+		h.ks[0].Spawn("consumer", func(p *Proc) {
+			// Parks at t=0; the crossing for t=30 is scheduled at a later
+			// barrier, so the timeout event precedes the Put in the tick.
+			// Whichever way the queue resolves that, the item must be
+			// delivered exactly once, never lost.
+			v, ok := q.GetTimeout(p, 30*time.Microsecond)
+			if !ok {
+				v = q.Get(p)
+			}
+			if v != 7 {
+				t.Errorf("timeout-armed-first: got %d (ok=%v), want 7", v, ok)
+			}
+			if p.Now() != 30*time.Microsecond {
+				t.Errorf("delivered at %v, want 30µs", p.Now())
+			}
+		})
+		h.ks[1].Spawn("producer", func(p *Proc) {
+			p.Sleep(20 * time.Microsecond)
+			h.post(1, 0, p.Now()+L, func() { q.Put(7) }) // lands exactly at t=30
+		})
+		NewLPSet(h.ks, L, h.exchange).Run()
+	})
+	t.Run("put-scheduled-first", func(t *testing.T) {
+		h := newLPHarness(2, 1)
+		q := NewQueue[int]("q")
+		h.ks[0].Spawn("consumer", func(p *Proc) {
+			// The crossing for t=30 is already in LP 0's heap when this
+			// deadline is armed at t=12, so the Put precedes the timeout.
+			p.Sleep(12 * time.Microsecond)
+			v, ok := q.GetTimeout(p, 18*time.Microsecond)
+			if !ok {
+				v = q.Get(p)
+			}
+			if v != 7 {
+				t.Errorf("put-scheduled-first: got %d (ok=%v), want 7", v, ok)
+			}
+			if p.Now() != 30*time.Microsecond {
+				t.Errorf("delivered at %v, want 30µs", p.Now())
+			}
+		})
+		h.ks[1].Spawn("producer", func(p *Proc) {
+			h.post(1, 0, 30*time.Microsecond, func() { q.Put(7) })
+		})
+		NewLPSet(h.ks, L, h.exchange).Run()
+	})
+}
+
+// TestDaemonWakeAtRearmWhileWakeInFlight: re-arming from inside the
+// executing step (the wake is in flight, nothing is scheduled), then
+// pulling that re-armed deadline earlier from outside, then absorbing a
+// later request — the retransmit-timer lifecycle under the parallel
+// kernel's windowed execution.
+func TestDaemonWakeAtRearmWhileWakeInFlight(t *testing.T) {
+	k := New(1)
+	var steps []Time
+	var d *Daemon
+	d = k.NewDaemon("timer", func() {
+		steps = append(steps, d.Now())
+		if len(steps) == 1 {
+			// In-flight re-arm: the triggering wake has been consumed, so
+			// this must schedule a fresh step, not be absorbed.
+			d.WakeAt(d.Now() + 20*time.Microsecond)
+		}
+	})
+	k.Spawn("driver", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+		d.Wake() // step 1 at t=10; re-arms itself for t=30
+		p.Sleep(5 * time.Microsecond)
+		d.WakeAt(18 * time.Microsecond) // pulls the pending t=30 step to t=18
+		p.Sleep(time.Microsecond)
+		d.WakeAt(25 * time.Microsecond) // later than pending t=18: absorbed
+		p.Sleep(20 * time.Microsecond)
+	})
+	k.Run()
+	want := []Time{10 * time.Microsecond, 18 * time.Microsecond}
+	if len(steps) != len(want) {
+		t.Fatalf("steps at %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("step %d at %v, want %v", i, steps[i], want[i])
+		}
+	}
+}
+
+// TestDaemonWakeAtSameTickRearm: WakeAt(now) from inside the step runs
+// the daemon again within the same tick exactly once — the degenerate
+// in-flight re-arm.
+func TestDaemonWakeAtSameTickRearm(t *testing.T) {
+	k := New(1)
+	runs := 0
+	var d *Daemon
+	d = k.NewDaemon("again", func() {
+		runs++
+		if runs == 1 {
+			d.WakeAt(d.Now())
+		}
+	})
+	k.Spawn("driver", func(p *Proc) {
+		p.Sleep(5 * time.Microsecond)
+		d.Wake()
+		p.Sleep(5 * time.Microsecond)
+	})
+	k.Run()
+	if runs != 2 {
+		t.Errorf("daemon stepped %d times, want 2", runs)
+	}
+}

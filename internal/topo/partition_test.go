@@ -1,0 +1,93 @@
+package topo
+
+import "testing"
+
+// TestPodsAndPodOf pins the pod structure each topology family exposes
+// to the parallel kernel: top-level subtrees for routed fabrics, one
+// trivial pod for the crossbar.
+func TestPodsAndPodOf(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		n    int
+		pods int
+	}{
+		{Spec{}, 32, 1},                    // crossbar: one pod
+		{Spec{Kind: FatTree, K: 4}, 4, 2},  // two leaves under one spine
+		{Spec{Kind: FatTree, K: 4}, 8, 2},  // three tiers, two top subtrees
+		{Spec{Kind: FatTree, K: 8}, 64, 4}, //
+		{Spec{Kind: FatTree, K: 16}, 16384, 4},
+		{Spec{Kind: LeafSpine, K: 4}, 32, 8}, // every leaf is a pod
+		{Spec{Kind: LeafSpine, K: 8}, 64, 8},
+	}
+	for _, tc := range cases {
+		tp := Build(tc.spec, tc.n)
+		if got := tp.Pods(); got != tc.pods {
+			t.Errorf("%v n=%d: Pods() = %d, want %d", tc.spec, tc.n, got, tc.pods)
+			continue
+		}
+		// PodOf must be a contiguous, nondecreasing cover of [0, Pods()).
+		last := 0
+		for i := 0; i < tc.n; i++ {
+			p := tp.PodOf(i)
+			if p < last || p > last+1 || p >= tc.pods {
+				t.Fatalf("%v n=%d: PodOf(%d) = %d after pod %d", tc.spec, tc.n, i, p, last)
+			}
+			last = p
+		}
+		if last != tc.pods-1 {
+			t.Errorf("%v n=%d: highest pod %d, want %d", tc.spec, tc.n, last, tc.pods-1)
+		}
+	}
+}
+
+// TestPartition pins the partition map the cluster builds LPs from:
+// pod-aligned, contiguous, clamped to the pod count, and all-zero when
+// it degenerates to one part.
+func TestPartition(t *testing.T) {
+	tp := Build(Spec{Kind: FatTree, K: 8}, 64) // 4 pods of 16
+	pm, parts := tp.Partition(4)
+	if parts != 4 || len(pm) != 64 {
+		t.Fatalf("Partition(4) = parts %d, len %d", parts, len(pm))
+	}
+	for i, p := range pm {
+		if int(p) != i/16 {
+			t.Fatalf("pmap[%d] = %d, want %d", i, p, i/16)
+		}
+	}
+
+	// Fewer parts than pods: whole pods are grouped, never split.
+	pm2, parts2 := tp.Partition(2)
+	if parts2 != 2 {
+		t.Fatalf("Partition(2) = %d parts", parts2)
+	}
+	for i, p := range pm2 {
+		if int(p) != i/32 {
+			t.Fatalf("2-part pmap[%d] = %d, want %d", i, p, i/32)
+		}
+	}
+	for i := 1; i < 64; i++ {
+		if tp.PodOf(i) == tp.PodOf(i-1) && pm2[i] != pm2[i-1] {
+			t.Fatalf("pod of node %d split across parts", i)
+		}
+	}
+
+	// Requests beyond the pod count clamp; 1 and below degenerate to a
+	// single all-zero part, as does any partition of a crossbar.
+	if _, parts := tp.Partition(64); parts != 4 {
+		t.Errorf("Partition(64) = %d parts, want clamp to 4", parts)
+	}
+	for _, req := range []int{1, 0, -3} {
+		pm, parts := tp.Partition(req)
+		if parts != 1 {
+			t.Fatalf("Partition(%d) = %d parts, want 1", req, parts)
+		}
+		for i, p := range pm {
+			if p != 0 {
+				t.Fatalf("Partition(%d): pmap[%d] = %d", req, i, p)
+			}
+		}
+	}
+	if _, parts := Build(Spec{}, 32).Partition(4); parts != 1 {
+		t.Error("crossbar Partition(4) did not degenerate to 1")
+	}
+}

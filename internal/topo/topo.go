@@ -262,6 +262,49 @@ func (t *Topology) Leaves() int {
 	return (t.n + t.m - 1) / t.m
 }
 
+// Pods returns the number of top-level pods: the subtrees of
+// pow[levels-1] hosts hanging off the root switch tier. Hosts in
+// different pods route through the full climb, so every inter-pod path's
+// up-links lie in the source pod and its down-links in the destination
+// pod — pods are the natural partition boundary for parallel (PDES)
+// execution. Single-switch topologies have one pod.
+func (t *Topology) Pods() int {
+	if t.levels == 1 {
+		return 1
+	}
+	return (t.n + t.pow[t.levels-1] - 1) / t.pow[t.levels-1]
+}
+
+// PodOf returns the pod index of a host.
+func (t *Topology) PodOf(node int) int {
+	if t.levels == 1 {
+		return 0
+	}
+	return node / t.pow[t.levels-1]
+}
+
+// Partition maps each host to one of at most parts logical processes,
+// splitting along pod boundaries: pods are assigned to LPs contiguously
+// and as evenly as possible, and a host never shares an LP boundary with
+// its pod. The actual LP count (parts clamped to [1, Pods()]) is
+// returned alongside the map. Deterministic in (topology, parts).
+func (t *Topology) Partition(parts int) ([]int32, int) {
+	np := t.Pods()
+	if parts > np {
+		parts = np
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	pmap := make([]int32, t.n)
+	if parts > 1 {
+		for i := 0; i < t.n; i++ {
+			pmap[i] = int32(t.PodOf(i) * parts / np)
+		}
+	}
+	return pmap, parts
+}
+
 // climb returns the number of up-links on the route src -> dst: the
 // lowest tier at which both share a subtree, clamped at the top tier
 // (the clamp is what lets LeafSpine's spines see every leaf).

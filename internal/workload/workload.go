@@ -22,6 +22,7 @@ import (
 	"abred/internal/skew"
 	"abred/internal/stats"
 	"abred/internal/sweep"
+	"abred/internal/topo"
 )
 
 // Style selects the reduction implementation the application uses.
@@ -61,6 +62,8 @@ type Config struct {
 	RedsPerIter int       // reductions per iteration
 	Window      int       // split-phase: iterations a result may lag
 	Seed        int64
+	Topo        topo.Spec // interconnect; zero value = single crossbar
+	LPs         int       // parallel logical processes (see cluster.Config.LPs)
 }
 
 func (c *Config) defaults() {
@@ -101,12 +104,15 @@ func Run(cfg Config, style Style) Result {
 	if size < 2 {
 		panic("workload: need at least two ranks")
 	}
-	cl := cluster.New(cluster.Config{Specs: cfg.Specs, Seed: cfg.Seed})
+	cl := cluster.New(cluster.Config{Specs: cfg.Specs, Seed: cfg.Seed,
+		Topo: cfg.Topo, LPs: cfg.LPs})
 	defer cl.Close()
 
 	delays := skew.Matrix(cfg.Imbalance, cl.K.NewRNG(), cfg.Iters, size)
 	inCall := make([]sim.Time, size)
-	var signals uint64
+	// Per-rank signal counts, summed after the run: rank closures may
+	// execute on different LP goroutines under a partitioned kernel.
+	sigs := make([]uint64, size)
 	var rootResults []float64
 
 	wall := cl.Run(func(n *cluster.Node, w *mpi.Comm) {
@@ -167,16 +173,20 @@ func Run(cfg Config, style Style) Result {
 		n.Proc.SpinInterruptible(2 * cfg.Compute)
 		coll.Barrier(w)
 		inCall[rank] = calls
-		signals += n.Engine.Metrics.SignalsHandled
+		sigs[rank] = n.Engine.Metrics.SignalsHandled
 	})
 
+	var signals uint64
+	for _, s := range sigs {
+		signals += s
+	}
 	return Result{
 		Style:       style,
 		JobTime:     wall,
 		ReduceCalls: stats.Summarize(inCall),
 		Signals:     signals,
 		RootResults: rootResults,
-		Events:      cl.K.Events(),
+		Events:      cl.Events(),
 	}
 }
 
