@@ -21,13 +21,16 @@ test:
 # allocs/event, peak heap, microbenchmark and sweep numbers vs. the
 # recorded pre-overhaul baselines) plus the topology table in
 # BENCH_kernel.json. Both commands draw clusters from the reuse pool
-# (-reuse, on by default).
+# (-reuse, on by default). -engine flow adds the flow-engine scaling
+# grid (65536–1048576 nodes, recorded as flow_sweep).
 .PHONY: bench
 bench:
 	go run ./cmd/abbench -fig all -ablations -parallel 0 -sweepjson BENCH_sweep.json
 	go run ./cmd/abscale -sizes 32,128,512,1024 -iters 100 -parallel 0 \
 		-toposizes 1024,2048,4096,8192,16384 -topoiters 6 \
-		-pdessize 16384 -pdeslps 1,2,4 -pdesiters 6 -csv -benchjson BENCH_kernel.json
+		-pdessize 16384 -pdeslps 1,2,4 -pdesiters 6 \
+		-engine flow -flowsizes 65536,262144,1048576 -flowiters 3 \
+		-csv -benchjson BENCH_kernel.json
 
 # Profile the scaling sweep: CPU and heap profiles of the standard grid,
 # ready for `go tool pprof abscale.cpu.pprof`.

@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"time"
 
+	"abred/internal/cluster"
 	"abred/internal/model"
 	"abred/internal/skew"
 	"abred/internal/stats"
+	"abred/internal/topo"
 	"abred/internal/workload"
 )
 
@@ -29,7 +31,23 @@ func main() {
 	halo := flag.Bool("halo", true, "nearest-neighbour exchange each iteration")
 	seed := flag.Int64("seed", 20030701, "simulation seed")
 	parallel := flag.Int("parallel", 0, "run the styles on a worker pool (0 = GOMAXPROCS, 1 = serial)")
+	engineFlag := flag.String("engine", "packet", "simulation engine: packet (full fidelity) or flow (large-scale; default and app-bypass styles only)")
+	topoFlag := flag.String("topo", "", "routed fabric spec (e.g. fattree:16; \"\" = crossbar)")
 	flag.Parse()
+
+	engine, err := cluster.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Printf("abapp: %v\n", err)
+		return
+	}
+	var ts topo.Spec
+	if *topoFlag != "" {
+		ts, err = topo.ParseSpec(*topoFlag)
+		if err != nil {
+			fmt.Printf("abapp: bad -topo %q: %v\n", *topoFlag, err)
+			return
+		}
+	}
 
 	var d skew.Dist
 	switch *dist {
@@ -58,14 +76,21 @@ func main() {
 		RedsPerIter: *reds,
 		Window:      *window,
 		Seed:        *seed,
+		Topo:        ts,
+		Engine:      engine,
 	}
 
 	fmt.Printf("synthetic application: %d nodes, %d iterations, compute %v + %s imbalance,\n",
 		*nodes, *iters, *compute, d.Name())
-	fmt.Printf("%d x %d-element reductions per iteration, halo=%v\n\n", *reds, *count, *halo)
+	fmt.Printf("%d x %d-element reductions per iteration, halo=%v, %v engine\n\n", *reds, *count, *halo, engine)
 
-	results := workload.CompareParallel(cfg, *parallel,
-		workload.StyleDefault, workload.StyleBypass, workload.StyleSplitPhase, workload.StyleNIC)
+	styles := []workload.Style{workload.StyleDefault, workload.StyleBypass,
+		workload.StyleSplitPhase, workload.StyleNIC}
+	if engine == cluster.EngineFlow {
+		// The flow engine carries no split-phase or NIC machinery.
+		styles = styles[:2]
+	}
+	results := workload.CompareParallel(cfg, *parallel, styles...)
 
 	base := results[0]
 	fmt.Printf("%-14s %14s %10s %22s %10s\n", "style", "job time", "speedup", "reduce calls (mean)", "signals")

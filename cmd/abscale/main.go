@@ -14,6 +14,7 @@
 //	        [-bigsizes 2048,4096,8192,16384] [-bigiters N] [-reuse=bool]
 //	        [-toposizes 1024,...,16384] [-topoiters N] [-topo SPEC]
 //	        [-lps N] [-pdessize N] [-pdeslps 1,2,4] [-pdesiters N]
+//	        [-engine packet|flow] [-flowsizes 65536,...,1048576] [-flowiters N]
 //	        [-seed N] [-skew D] [-loss P] [-faultseed N] [-parallel N]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-csv] [-benchjson FILE]
 //
@@ -33,7 +34,17 @@
 // kernel (results per LP count are deterministic); -pdessize N adds a
 // dedicated speedup sweep that reruns one N-node simulation on the
 // -topo fabric at each -pdeslps count and reports wall-clock speedup
-// over the monolithic kernel. -benchjson records the kernel's execution metrics —
+// over the monolithic kernel; when the LP count exceeds the machine's
+// cores the run warns and marks the recorded speedups as invalid
+// claims.
+//
+// -engine flow adds the flow-engine scaling grid: the -flowsizes node
+// counts (default 65536–1048576, far past what the packet engine can
+// hold) on the -topo fabric, nab versus ab, recorded as flow_sweep in
+// -benchjson with per-size wall/heap/events columns. The packet-engine
+// sweeps above still run and keep their baselines comparable.
+//
+// -benchjson records the kernel's execution metrics —
 // events/sec, allocs/event and peak heap for each sweep, plus the fixed
 // 32-node kernel microbenchmark, the standard grid's pre-reuse baseline
 // and the topology-sweep table — to FILE (the committed
@@ -122,6 +133,9 @@ func main() {
 	pdesSize := flag.Int("pdessize", 0, "PDES speedup sweep node count (0 skips it)")
 	pdesLPs := flag.String("pdeslps", "1,2,4", "comma-separated LP counts for the PDES speedup sweep")
 	pdesIters := flag.Int("pdesiters", 6, "iterations per PDES speedup point")
+	engineFlag := flag.String("engine", "packet", "simulation engine: packet (full fidelity) or flow (large-scale)")
+	flowSizes := flag.String("flowsizes", "65536,262144,1048576", "flow-engine grid node counts (\"\" skips it; -engine flow only)")
+	flowIters := flag.Int("flowiters", 3, "iterations per flow-engine data point")
 	reuse := flag.Bool("reuse", true, "reuse built clusters across grid cells (pool + Reset)")
 	seed := flag.Int64("seed", 20030701, "simulation seed")
 	skew := flag.Duration("skew", time.Millisecond, "maximum skew for the skewed sweep")
@@ -218,10 +232,26 @@ func main() {
 			os.Exit(2)
 		}
 		lpsList := parseLPs(*pdesLPs)
+		maxLPs := 0
+		for _, l := range lpsList {
+			if l > maxLPs {
+				maxLPs = l
+			}
+		}
+		cores := runtime.NumCPU()
 		points := bench.PDESSweep(*pdesSize, ft, *skew, *count, *pdesIters, *seed, lpsList)
 		pdesDoc = &pdesSweepDoc{Fabric: ft.String(), Nodes: *pdesSize, Iters: *pdesIters,
 			MaxSkew: skew.String(), Elements: *count, Cores: runtime.GOMAXPROCS(0),
-			Points: points}
+			NumCPU: cores, Points: points, SpeedupClaimValid: maxLPs <= cores}
+		if maxLPs > cores {
+			pdesDoc.Oversubscribed = true
+			pdesDoc.Note = fmt.Sprintf("max LP count %d exceeds the machine's %d core(s); "+
+				"wall-clock speedup_vs_first measures goroutine scheduling, not parallel execution",
+				maxLPs, cores)
+			fmt.Fprintf(os.Stderr, "abscale: warning: -pdeslps goes up to %d LPs on %d core(s); "+
+				"speedup numbers are scheduling artifacts and are annotated as invalid claims\n",
+				maxLPs, cores)
+		}
 		base := points[0].WallMS
 		fmt.Printf("PDES speedup sweep — %d nodes on %s, %d iters, %d cores\n",
 			*pdesSize, ft, *pdesIters, pdesDoc.Cores)
@@ -234,8 +264,36 @@ func main() {
 		fmt.Println()
 	}
 
+	engine, err := cluster.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abscale: %v\n", err)
+		os.Exit(2)
+	}
+	var flowDoc *flowSweepDoc
+	if engine == cluster.EngineFlow {
+		if fs := parseSizes("-flowsizes", *flowSizes); len(fs) > 0 {
+			ft, err := topo.ParseSpec(*topoFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "abscale: bad -topo %q: %v\n", *topoFlag, err)
+				os.Exit(2)
+			}
+			points := bench.FlowSweep(fs, ft, *skew, *count, *flowIters, *seed)
+			flowDoc = &flowSweepDoc{Fabric: ft.String(), MaxSkew: skew.String(),
+				Elements: *count, Iters: *flowIters, Points: points}
+			fmt.Printf("Flow-engine scaling sweep — %s, max skew %v, %d elements, %d iters\n",
+				ft, *skew, *count, *flowIters)
+			fmt.Printf("%10s %10s %10s %8s %12s %14s %14s %12s\n",
+				"nodes", "nab_us", "ab_us", "factor", "wall_ms", "events", "heap_bytes", "fct_p99_us")
+			for _, p := range points {
+				fmt.Printf("%10d %10.3f %10.3f %8.2f %12.1f %14d %14d %12.1f\n",
+					p.Nodes, p.NabUS, p.AbUS, p.Factor, p.WallMS, p.Events, p.HeapPeak, p.FCTp99US)
+			}
+			fmt.Println()
+		}
+	}
+
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, sizes, *iters, entries, topoDoc, pdesDoc); err != nil {
+		if err := writeBenchJSON(*benchJSON, sizes, *iters, entries, topoDoc, pdesDoc, flowDoc); err != nil {
 			fmt.Fprintf(os.Stderr, "abscale: %v\n", err)
 			os.Exit(1)
 		}
@@ -278,16 +336,35 @@ type topoSweepDoc struct {
 // -benchjson output: the same large routed simulation run at each LP
 // count, with wall-clock speedup relative to the first (monolithic)
 // point. Virtual-time columns (events, avg_cpu_us, signals) pin each
-// LP count's deterministic result.
+// LP count's deterministic result. When the LP count exceeds the
+// machine's cores the speedup column measures goroutine scheduling, not
+// parallelism, so the doc carries a machine-readable disclaimer:
+// oversubscribed, speedup_claim_valid and note.
 type pdesSweepDoc struct {
+	Fabric            string            `json:"fabric"`
+	Nodes             int               `json:"nodes"`
+	MaxSkew           string            `json:"max_skew"`
+	Elements          int               `json:"elements"`
+	Iters             int               `json:"iters"`
+	Cores             int               `json:"cores"`    // GOMAXPROCS — speedup ceiling context
+	NumCPU            int               `json:"num_cpu"`  // physical cores the OS reports
+	Oversubscribed    bool              `json:"oversubscribed"`
+	SpeedupClaimValid bool              `json:"speedup_claim_valid"`
+	Note              string            `json:"note,omitempty"`
+	Points            []bench.PDESPoint `json:"points"`
+	Speedup           []float64         `json:"speedup_vs_first"`
+}
+
+// flowSweepDoc is the flow-engine scaling grid's record in -benchjson
+// output (-engine flow): per-size nab/ab CPU utilization plus the wall,
+// events and peak-heap columns that certify each point's simulation
+// cost, and flow-completion-time percentiles from the ab runs.
+type flowSweepDoc struct {
 	Fabric   string            `json:"fabric"`
-	Nodes    int               `json:"nodes"`
 	MaxSkew  string            `json:"max_skew"`
 	Elements int               `json:"elements"`
 	Iters    int               `json:"iters"`
-	Cores    int               `json:"cores"` // GOMAXPROCS — speedup ceiling context
-	Points   []bench.PDESPoint `json:"points"`
-	Speedup  []float64         `json:"speedup_vs_first"`
+	Points   []bench.FlowPoint `json:"points"`
 }
 
 // sameSizes reports whether two size grids are identical.
@@ -306,7 +383,7 @@ func sameSizes(a, b []int) bool {
 // writeBenchJSON records the scaling sweeps' execution metrics plus the
 // fixed kernel microbenchmark, side by side with the recorded
 // pre-overhaul kernel baseline and the pre-reuse sweep baseline.
-func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, topoDoc *topoSweepDoc, pdesDoc *pdesSweepDoc) error {
+func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, topoDoc *topoSweepDoc, pdesDoc *pdesSweepDoc, flowDoc *flowSweepDoc) error {
 	micro := bench.KernelMicrobench(bench.AppBypass, 50, 20030701)
 	microNab := bench.KernelMicrobench(bench.NonAppBypass, 50, 20030701)
 	doc := struct {
@@ -339,9 +416,10 @@ func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, to
 		ScalingPerf []perfEntry   `json:"scaling_sweeps"`
 		TopoSweep   *topoSweepDoc `json:"topo_sweep,omitempty"`
 		PDESSweep   *pdesSweepDoc `json:"pdes_sweep,omitempty"`
+		FlowSweep   *flowSweepDoc `json:"flow_sweep,omitempty"`
 	}{Workload: "32-node Fig. 6 CPU-utilization workload (count=4, skew=1ms, iters=50, seed=20030701)",
 		Sizes: sizes, Iters: iters, Micro: micro, MicroNab: microNab,
-		ScalingPerf: entries, TopoSweep: topoDoc, PDESSweep: pdesDoc}
+		ScalingPerf: entries, TopoSweep: topoDoc, PDESSweep: pdesDoc, FlowSweep: flowDoc}
 	doc.Baseline.EventsPerSec = bench.BaselineEventsPerSec
 	doc.Baseline.AllocsPerEvent = bench.BaselineAllocsPerEvent
 	if doc.Baseline.EventsPerSec > 0 {

@@ -93,6 +93,13 @@ type Config struct {
 	// cluster.Config.LPs). 0 or 1 is the monolithic kernel.
 	LPs int
 
+	// Engine selects the simulation engine (cluster.Config.Engine):
+	// packet is the default full-fidelity path, flow the large-scale
+	// flow-level engine. The flow path refuses knobs it cannot model at
+	// committed fidelity (NIC-based reduction, delay policies,
+	// rendezvous AB).
+	Engine cluster.Engine
+
 	// Pool, when set, sources the simulated cluster from a reuse pool
 	// instead of building it from scratch: the cluster is Reset under
 	// this config's seed and fault plan (byte-identical to a fresh
@@ -115,7 +122,7 @@ func (c *Config) acquire() (*cluster.Cluster, func()) {
 
 // clusterConfig assembles the cluster construction parameters.
 func (c *Config) clusterConfig() cluster.Config {
-	cc := cluster.Config{Specs: c.Specs, Seed: c.Seed, Fault: c.Fault, Topo: c.Topo, LPs: c.LPs}
+	cc := cluster.Config{Specs: c.Specs, Seed: c.Seed, Fault: c.Fault, Topo: c.Topo, LPs: c.LPs, Engine: c.Engine}
 	if c.Costs != nil {
 		cc.Costs = *c.Costs
 	}
@@ -174,9 +181,18 @@ type CPUUtilResult struct {
 
 	// Uplink contention on a routed topology, zero on the crossbar:
 	// link occupancies that queued behind a busy inter-switch link, and
-	// the total time so spent.
+	// the total time so spent. On the flow engine these count flows
+	// whose transfer stretched past the uncontended serialization time.
 	LinkWaits uint64
 	LinkWait  sim.Time
+
+	// Elapsed is the virtual time the whole run took — the quantity the
+	// flow/packet cross-validation pins alongside AvgCPU.
+	Elapsed sim.Time
+
+	// FCT summarizes the flow-completion-time distribution (flow engine
+	// only; zero value on the packet path).
+	FCT stats.Summary
 }
 
 // CPUUtil runs the CPU-utilization microbenchmark.
@@ -185,6 +201,9 @@ func CPUUtil(cfg Config) CPUUtilResult {
 	size := len(cfg.Specs)
 	if size < 1 {
 		panic("bench: empty cluster")
+	}
+	if cfg.Engine == cluster.EngineFlow {
+		return flowCPUUtil(cfg)
 	}
 	cl, release := cfg.acquire()
 	defer release()
@@ -223,7 +242,7 @@ func CPUUtil(cfg Config) CPUUtilResult {
 		tree = coll.NewTopoTree(size, cfg.Root, cl.Topo.Leaf)
 	}
 
-	cl.Run(func(n *cluster.Node, w *mpi.Comm) {
+	end := cl.Run(func(n *cluster.Node, w *mpi.Comm) {
 		if cfg.Mode == AppBypass && cfg.Delay != nil {
 			n.Engine.SetDelayPolicy(cfg.Delay)
 		}
@@ -272,6 +291,7 @@ func CPUUtil(cfg Config) CPUUtilResult {
 		Rel:       relTotals(cl),
 		LinkWaits: waits,
 		LinkWait:  waitTime,
+		Elapsed:   end,
 	}
 }
 

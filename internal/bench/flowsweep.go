@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"abred/internal/cluster"
+	"abred/internal/model"
+	"abred/internal/sim"
+	"abred/internal/sweep"
+	"abred/internal/topo"
+)
+
+// FlowPoint is one node count of the flow-engine scaling sweep: the
+// paper's nab/ab comparison plus the execution-cost columns (wall,
+// events, peak heap) that certify the point was simulable at all, and
+// the flow-completion-time percentiles from the ab run.
+type FlowPoint struct {
+	Nodes    int     `json:"nodes"`
+	NabUS    float64 `json:"nab_us"`
+	AbUS     float64 `json:"ab_us"`
+	Factor   float64 `json:"factor"`
+	WallMS   float64 `json:"wall_ms"`
+	Events   uint64  `json:"events"`
+	HeapPeak uint64  `json:"heap_peak_bytes"`
+	FCTp50US float64 `json:"fct_p50_us"`
+	FCTp95US float64 `json:"fct_p95_us"`
+	FCTp99US float64 `json:"fct_p99_us"`
+}
+
+// FlowSweep runs the flow-engine CPU-utilization grid: for each size,
+// the interlaced heterogeneous node mix on the routed fabric, skewed,
+// non-bypass versus bypass (with the topology-aware tree). Each size's
+// two runs share a pooled cluster and execute serially so the wall and
+// heap columns describe that size alone.
+func FlowSweep(sizes []int, ft topo.Spec, maxSkew sim.Time, count, iters int, seed int64) []FlowPoint {
+	points := make([]FlowPoint, 0, len(sizes))
+	for _, n := range sizes {
+		pool := cluster.NewPool()
+		specs := model.PaperCluster(n)
+		mk := func(mode Mode, topoAware bool) Config {
+			return Config{Specs: specs, Count: count, Mode: mode, MaxSkew: maxSkew,
+				Iters: iters, Seed: seed, Topo: ft, TopoAware: topoAware,
+				Engine: cluster.EngineFlow, Pool: pool}
+		}
+		var nab, ab CPUUtilResult
+		res := sweep.Run(fmt.Sprintf("flow/n=%d", n), []sweep.Job[int]{
+			{Name: fmt.Sprintf("flow/nab/n=%d", n), Seed: seed, Run: func() (int, uint64) {
+				nab = CPUUtil(mk(NonAppBypass, false))
+				return 0, nab.Events
+			}},
+			{Name: fmt.Sprintf("flow/ab/n=%d", n), Seed: seed, Run: func() (int, uint64) {
+				ab = CPUUtil(mk(AppBypass, true))
+				return 0, ab.Events
+			}},
+		}, 1)
+		pool.Drain()
+		p := FlowPoint{
+			Nodes:    n,
+			NabUS:    float64(nab.AvgCPU) / float64(time.Microsecond),
+			AbUS:     float64(ab.AvgCPU) / float64(time.Microsecond),
+			WallMS:   float64(res.Perf.Wall) / float64(time.Millisecond),
+			Events:   res.Perf.Events,
+			HeapPeak: res.Perf.HeapPeak,
+			FCTp50US: float64(ab.FCT.P50) / float64(time.Microsecond),
+			FCTp95US: float64(ab.FCT.P95) / float64(time.Microsecond),
+			FCTp99US: float64(ab.FCT.P99) / float64(time.Microsecond),
+		}
+		if p.AbUS > 0 {
+			p.Factor = p.NabUS / p.AbUS
+		}
+		points = append(points, p)
+	}
+	return points
+}

@@ -13,6 +13,7 @@ import (
 	"abred/internal/core"
 	"abred/internal/fabric"
 	"abred/internal/fault"
+	"abred/internal/flow"
 	"abred/internal/gm"
 	"abred/internal/model"
 	"abred/internal/mpi"
@@ -46,6 +47,15 @@ type Cluster struct {
 	Topo   *topo.Topology // built interconnect graph; crossbar by default
 	Nodes  []*Node
 
+	// Engine identifies the simulation engine the cluster was built for.
+	// A flow-engine cluster has FlowM in place of Fabric/Nodes: per-node
+	// state lives in flat arrays inside the flow machine, and programs
+	// drive the flow collective API instead of Run.
+	Engine Engine
+	FlowM  *flow.Machine
+
+	flowSpecs []model.NodeSpec // spec table of a flow cluster (no Nodes)
+
 	// Partitioned (parallel) execution state: Ks holds every logical
 	// process's kernel (length 1 when monolithic; Ks[0] == K), LPs the
 	// actual partition count after clamping to the topology's pods.
@@ -77,6 +87,12 @@ type Config struct {
 	// build; anything else compiles a per-cluster fault.Plan, installs
 	// the gm pool hooks, and switches every NIC to reliable delivery.
 	Fault fault.Config
+
+	// Engine selects the simulation engine: EnginePacket (the default)
+	// is the full-fidelity per-packet path; EngineFlow models transfers
+	// as max-min fair flows and scales to ~1M nodes. Construction-time
+	// shape property: Reset refuses a mismatch and Pool keys on it.
+	Engine Engine
 
 	// LPs requests a partitioned simulation: up to LPs logical processes
 	// split along the topology's pod boundaries, each with its own
@@ -132,6 +148,9 @@ func New(cfg Config) *Cluster {
 	}
 	if cfg.Costs == (model.Costs{}) {
 		cfg.Costs = model.DefaultCosts()
+	}
+	if cfg.Engine == EngineFlow {
+		return newFlow(cfg)
 	}
 	k := sim.New(cfg.Seed)
 	fab := fabric.New(k, len(cfg.Specs), cfg.Costs)
@@ -234,6 +253,13 @@ func (c *Cluster) Reset(cfg Config) {
 	if cfg.Costs == (model.Costs{}) {
 		cfg.Costs = model.DefaultCosts()
 	}
+	if cfg.Engine != c.Engine {
+		panic(fmt.Sprintf("cluster: Reset with engine %v on a %v cluster", cfg.Engine, c.Engine))
+	}
+	if c.Engine == EngineFlow {
+		c.resetFlow(cfg)
+		return
+	}
 	if len(cfg.Specs) != len(c.Nodes) {
 		panic(fmt.Sprintf("cluster: Reset with %d specs on a %d-node cluster", len(cfg.Specs), len(c.Nodes)))
 	}
@@ -302,6 +328,9 @@ func (n *Node) body(p *sim.Proc) {
 // completion, returning the final virtual time. Run may be called again
 // to execute a follow-up program on the same cluster.
 func (c *Cluster) Run(program Program) sim.Time {
+	if c.Engine == EngineFlow {
+		panic("cluster: a flow-engine cluster has no per-rank processes; drive the flow collective API (bench/workload flow paths)")
+	}
 	c.program = program
 	var end sim.Time
 	if c.lpset != nil {

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+
+	"abred/internal/flow"
+	"abred/internal/model"
+	"abred/internal/sim"
+	"abred/internal/topo"
+)
+
+// Engine selects the simulation engine a cluster is built around.
+type Engine uint8
+
+// Engines. EnginePacket is the historical full-fidelity path and the
+// zero value, so every existing Config keeps its meaning; EngineFlow is
+// the flow-level hybrid-fidelity engine (max-min fair transfers,
+// arithmetic host clocks) that scales the same API to ~1M nodes.
+const (
+	EnginePacket Engine = iota
+	EngineFlow
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EnginePacket:
+		return "packet"
+	case EngineFlow:
+		return "flow"
+	}
+	return fmt.Sprintf("engine(%d)", uint8(e))
+}
+
+// ParseEngine parses a -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "packet":
+		return EnginePacket, nil
+	case "flow":
+		return EngineFlow, nil
+	}
+	return EnginePacket, fmt.Errorf("unknown engine %q (packet|flow)", s)
+}
+
+// newFlow builds a flow-engine cluster: one kernel, the topology graph,
+// shared cost tables and the flow machine — no fabric, NICs or
+// per-node structs, so construction and footprint stay flat arrays even
+// at a million nodes.
+func newFlow(cfg Config) *Cluster {
+	if normLPs(cfg.LPs) > 1 {
+		panic("cluster: the flow engine is monolithic (LPs must be 0 or 1)")
+	}
+	k := sim.New(cfg.Seed)
+	tp := topo.Build(cfg.Topo, len(cfg.Specs))
+	cms := model.SharedCostModels(cfg.Specs, cfg.Costs)
+	m := flow.NewMachine(k, tp, cms, cfg.Costs)
+	if err := m.SetFaults(cfg.Fault); err != nil {
+		panic("cluster: " + err.Error())
+	}
+	return &Cluster{
+		K: k, Costs: cfg.Costs, Topo: tp,
+		Engine: EngineFlow, FlowM: m, flowSpecs: cfg.Specs,
+		Ks: []*sim.Kernel{k}, LPs: 1, reqLPs: 1,
+		key: keyOf(cfg),
+	}
+}
+
+// resetFlow is Reset for a flow cluster: same shape checks, then kernel
+// and machine state back to just-built under the new seed and faults.
+func (c *Cluster) resetFlow(cfg Config) {
+	if len(cfg.Specs) != len(c.flowSpecs) {
+		panic(fmt.Sprintf("cluster: Reset with %d specs on a %d-node cluster", len(cfg.Specs), len(c.flowSpecs)))
+	}
+	if cfg.Costs != c.Costs {
+		panic("cluster: Reset with different costs")
+	}
+	if cfg.Topo != c.Topo.Spec() {
+		panic(fmt.Sprintf("cluster: Reset with topology %v on a %v cluster", cfg.Topo, c.Topo.Spec()))
+	}
+	if normLPs(cfg.LPs) > 1 {
+		panic("cluster: the flow engine is monolithic (LPs must be 0 or 1)")
+	}
+	for i, s := range c.flowSpecs {
+		if cfg.Specs[i] != s {
+			panic(fmt.Sprintf("cluster: Reset with different spec for node %d", i))
+		}
+	}
+	c.K.Reset(cfg.Seed)
+	c.FlowM.Reset()
+	if err := c.FlowM.SetFaults(cfg.Fault); err != nil {
+		panic("cluster: " + err.Error())
+	}
+}
+
+// Size returns the node count, engine-independent.
+func (c *Cluster) Size() int {
+	if c.Engine == EngineFlow {
+		return len(c.flowSpecs)
+	}
+	return len(c.Nodes)
+}

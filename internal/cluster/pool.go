@@ -33,11 +33,12 @@ type Pool struct {
 // poolKey summarizes a cluster shape. The spec hash may collide, so Get
 // re-verifies actual equality before reusing a cluster.
 type poolKey struct {
-	n     int
-	specs uint64
-	costs model.Costs
-	topo  topo.Spec
-	lps   int // normalized requested LP count (1 = monolithic)
+	n      int
+	specs  uint64
+	costs  model.Costs
+	topo   topo.Spec
+	lps    int // normalized requested LP count (1 = monolithic)
+	engine Engine
 }
 
 // NewPool returns an empty cluster pool.
@@ -66,16 +67,28 @@ func hashSpecs(specs []model.NodeSpec) uint64 {
 
 func keyOf(cfg Config) poolKey {
 	return poolKey{n: len(cfg.Specs), specs: hashSpecs(cfg.Specs),
-		costs: cfg.Costs, topo: cfg.Topo, lps: normLPs(cfg.LPs)}
+		costs: cfg.Costs, topo: cfg.Topo, lps: normLPs(cfg.LPs),
+		engine: cfg.Engine}
 }
 
 // matches reports whether c was built with exactly this shape.
 func (c *Cluster) matches(cfg Config) bool {
-	if len(cfg.Specs) != len(c.Nodes) || cfg.Costs != c.Costs || cfg.Topo != c.Topo.Spec() {
+	if cfg.Engine != c.Engine {
+		return false
+	}
+	if len(cfg.Specs) != c.Size() || cfg.Costs != c.Costs || cfg.Topo != c.Topo.Spec() {
 		return false
 	}
 	if normLPs(cfg.LPs) != c.reqLPs {
 		return false
+	}
+	if c.Engine == EngineFlow {
+		for i, s := range c.flowSpecs {
+			if cfg.Specs[i] != s {
+				return false
+			}
+		}
+		return true
 	}
 	for i, n := range c.Nodes {
 		if cfg.Specs[i] != n.Spec {

@@ -1,0 +1,657 @@
+// Flow-mode lowering of the collectives. FlowColl re-expresses the
+// packet engine's reduction and barrier — the blocking MPICH binomial
+// chain, the application-bypass descriptor machinery, and the NIC
+// signal discipline — as arithmetic over per-rank virtual clocks, with
+// every message a single flow.Machine transfer instead of a packet
+// exchange between simulated processes. The cost charges mirror the
+// packet path constant for constant (HostRecvOvh + QueueSearch on every
+// receive, PollIter per handled message, the two-copy unexpected-queue
+// penalty, DescriptorOvh + drained-early-message QueueSearch on AB
+// entry, SignalOvh/SignalIgnoredOvh under the same coalescing rules gm
+// applies); what changes is the transfer model underneath, so flow and
+// packet runs agree within the cross-validation band committed in
+// bench.
+package coll
+
+import (
+	"fmt"
+
+	"abred/internal/flow"
+	"abred/internal/sim"
+)
+
+// Message kinds carried in flow tags. fkSignal is not a message: it is
+// the WakeAt tag for a coalesced NIC signal handler.
+const (
+	fkReduce uint8 = iota // reduction contribution to the parent
+	fkBarUp               // barrier combine token
+	fkBarDown             // barrier release token
+	fkP2P                 // point-to-point payload (workload halo)
+	fkSignal
+)
+
+// op interpreter states.
+const (
+	opNone uint8 = iota
+	opReduce
+	opBarrier
+	opRecv
+)
+
+// seqMask bounds the instance number folded into a flow tag; matching
+// uses the masked value on both sides, so collectives stay correct for
+// any iteration count with a window of 2^18 concurrent instances.
+const seqMask = 1<<18 - 1
+
+func mseq(seq uint64) uint64 { return seq & seqMask }
+
+// ptag packs a message descriptor into a flow tag:
+// [kind:3][coll:1][dst:21][src:21][seq:18].
+func ptag(kind uint8, coll bool, dst, src int, seq uint64) uint64 {
+	t := uint64(kind) | uint64(dst)<<4 | uint64(src)<<25 | mseq(seq)<<46
+	if coll {
+		t |= 8
+	}
+	return t
+}
+
+// fpkt is one delivered message awaiting (or undergoing) host
+// processing — the flow-mode image of a gm packet in the NIC host
+// queue.
+type fpkt struct {
+	kind uint8
+	coll bool  // gm Collective type: eligible for the AB hook and signals
+	src  int32
+	size int32
+	seq  uint64
+	tr   sim.Time // NIC deposit time
+}
+
+// fdesc is an application-bypass reduction descriptor: the instance and
+// the children whose contributions are still pending.
+type fdesc struct {
+	seq     uint64
+	parent  int32
+	pending []int32
+}
+
+// fop is a rank's in-progress blocking operation: the interpreter state
+// the packet engine keeps on a goroutine stack.
+type fop struct {
+	kind    uint8
+	phase   uint8
+	waiting bool // a posted receive is outstanding
+	coll    bool // this instance's sends are collective-typed
+	seq     uint64
+	it      ChildIter
+	kids    []int // materialized child list (topology-aware root)
+	ki      int
+	parent  int32
+	// The posted receive's match key.
+	pkind uint8
+	psrc  int32
+	pseq  uint64
+	psize int32
+}
+
+// frank is one rank's progress-engine state.
+type frank struct {
+	nicq    []fpkt // delivered, not yet host-processed (FIFO from nh)
+	nh      int
+	unexp   []fpkt // MPICH unexpected-message queue
+	abq     []fpkt // AB unexpected queue (early contributions)
+	descs   []fdesc
+	op      fop
+	sigOn   bool // NIC signals armed (descriptors outstanding)
+	sigPend bool // a signal was raised and its handler has not run
+}
+
+// FlowColl runs the collectives of one communicator on the flow engine.
+// All entry points take the host time the rank makes the call; Done
+// fires (in scheduler context) when the rank's blocking call returns.
+// Contract: every payload must fit the eager protocol — rendezvous
+// transfers have a different synchronization structure and are not
+// modeled at flow fidelity.
+type FlowColl struct {
+	M     *flow.Machine
+	Size  int
+	Root  int
+	Count int // reduction elements (8-byte doubles)
+	Bytes int // Count * 8
+
+	// P2PBytes sizes fkP2P transfers (the workload's halo payload).
+	P2PBytes int
+
+	// Tree, when set, replaces the binomial shape for application-
+	// bypass instances, exactly as Engine.SetTopoTree does.
+	Tree *TopoTree
+
+	Done func(rank int, t sim.Time)
+
+	// Signals counts handlers that ran with work, per rank (the flow
+	// image of Engine.Metrics.SignalsHandled). Early and Completed
+	// mirror EarlyMessages and CompletedInstances.
+	Signals   []uint64
+	Early     uint64
+	Completed uint64
+
+	ranks    []frank
+	pendFree [][]int32
+	rootKids []int
+}
+
+// NewFlowColl builds the flow-mode collective engine for a size-rank
+// communicator reducing count doubles to root.
+func NewFlowColl(m *flow.Machine, size, root, count int) *FlowColl {
+	if size < 1 || root < 0 || root >= size {
+		panic(fmt.Sprintf("coll: flow communicator size=%d root=%d", size, root))
+	}
+	fc := &FlowColl{
+		M: m, Size: size, Root: root, Count: count, Bytes: count * 8,
+		Signals: make([]uint64, size),
+		ranks:   make([]frank, size),
+	}
+	if thr := m.CMs[0].C.EagerThreshold; fc.Bytes > thr {
+		panic(fmt.Sprintf("coll: flow engine models eager reductions only (%d bytes > threshold %d)", fc.Bytes, thr))
+	}
+	return fc
+}
+
+// Reset returns every rank to the just-built state, keeping backing
+// arrays.
+func (fc *FlowColl) Reset() {
+	for i := range fc.ranks {
+		fr := &fc.ranks[i]
+		fr.nicq, fr.nh = fr.nicq[:0], 0
+		fr.unexp = fr.unexp[:0]
+		fr.abq = fr.abq[:0]
+		for j := range fr.descs {
+			fc.putPend(fr.descs[j].pending)
+		}
+		fr.descs = fr.descs[:0]
+		fr.op = fop{}
+		fr.sigOn, fr.sigPend = false, false
+		fc.Signals[i] = 0
+	}
+	fc.Early, fc.Completed = 0, 0
+}
+
+func (fc *FlowColl) getPend() []int32 {
+	if l := len(fc.pendFree); l > 0 {
+		p := fc.pendFree[l-1]
+		fc.pendFree = fc.pendFree[:l-1]
+		return p
+	}
+	return nil
+}
+
+func (fc *FlowColl) putPend(p []int32) {
+	if cap(p) > 0 && len(fc.pendFree) < 64 {
+		fc.pendFree = append(fc.pendFree, p[:0])
+	}
+}
+
+// Reduce runs one reduction call for rank starting at host time at; ab
+// selects the application-bypass implementation. seq is the instance
+// number (every rank must pass the same one per instance).
+func (fc *FlowColl) Reduce(rank int, at sim.Time, ab bool, seq uint64) {
+	if !ab {
+		fc.reduceStart(rank, at, seq, false)
+		return
+	}
+	if rank == fc.Root {
+		// Root always takes the default synchronous path (§V-B); its
+		// children still send collective-typed messages.
+		fc.reduceStart(rank, at, seq, true)
+		return
+	}
+	var parent, nk int
+	if fc.Tree != nil {
+		parent, nk = fc.Tree.Parent(rank), fc.Tree.ChildCount(rank)
+	} else {
+		parent, nk = Parent(rank, fc.Root, fc.Size), ChildCount(rank, fc.Root, fc.Size)
+	}
+	m, cm := fc.M, fc.M.CMs[rank]
+	if nk == 0 {
+		// Leaf: one eager collective send, then the call returns.
+		t := m.HostRun(rank, at, cm.HostSendOvh()+cm.HostCopy(fc.Bytes))
+		m.Send(t, rank, parent, fc.Bytes, fc, ptag(fkReduce, true, parent, rank, seq))
+		fc.opDone(rank, t)
+		return
+	}
+	fc.abInternal(rank, at, seq, parent)
+}
+
+// Barrier enters the MPICH tree barrier (combine up to rank 0, release
+// down) for rank at host time at.
+func (fc *FlowColl) Barrier(rank int, at sim.Time, seq uint64) {
+	if fc.Size == 1 {
+		fc.opDone(rank, at)
+		return
+	}
+	fr := &fc.ranks[rank]
+	fr.op = fop{kind: opBarrier, seq: mseq(seq), parent: int32(Parent(rank, 0, fc.Size)), it: Kids(rank, 0, fc.Size)}
+	fc.M.HostRun(rank, at, 0)
+	fc.barrierLoop(rank, fr)
+}
+
+// SendP2P posts one eager point-to-point send and returns the time the
+// call hands back to the application.
+func (fc *FlowColl) SendP2P(rank int, at sim.Time, dst int, tag uint64) sim.Time {
+	m, cm := fc.M, fc.M.CMs[rank]
+	t := m.HostRun(rank, at, cm.HostSendOvh()+cm.HostCopy(fc.P2PBytes))
+	m.Send(t, rank, dst, fc.P2PBytes, fc, ptag(fkP2P, false, dst, rank, tag))
+	return t
+}
+
+// RecvP2P blocks rank on a point-to-point receive; Done fires when it
+// matches.
+func (fc *FlowColl) RecvP2P(rank int, at sim.Time, src int, tag uint64) {
+	fr := &fc.ranks[rank]
+	fr.op = fop{kind: opRecv}
+	fc.M.HostRun(rank, at, 0)
+	if fc.recvStart(rank, fr, fkP2P, int32(src), mseq(tag), int32(fc.P2PBytes)) {
+		fc.opDone(rank, fc.M.Busy[rank])
+	}
+}
+
+// reduceStart runs the blocking MPICH reduction chain (ReduceOnKind):
+// all of NAB mode, plus the AB root. coll marks the instance's sends
+// collective-typed.
+func (fc *FlowColl) reduceStart(rank int, at sim.Time, seq uint64, coll bool) {
+	m, cm := fc.M, fc.M.CMs[rank]
+	fr := &fc.ranks[rank]
+	fr.op = fop{kind: opReduce, seq: mseq(seq), coll: coll}
+	op := &fr.op
+	var parent, nk int
+	if coll && fc.Tree != nil {
+		parent, nk = fc.Tree.Parent(rank), fc.Tree.ChildCount(rank)
+		fc.rootKids = fc.Tree.AppendChildren(fc.rootKids[:0], rank)
+		op.kids = fc.rootKids
+	} else {
+		parent, nk = Parent(rank, fc.Root, fc.Size), ChildCount(rank, fc.Root, fc.Size)
+		op.it = Kids(rank, fc.Root, fc.Size)
+	}
+	op.parent = int32(parent)
+	if nk == 0 {
+		if parent < 0 { // single-process communicator
+			fc.opDone(rank, at)
+			return
+		}
+		t := m.HostRun(rank, at, cm.HostSendOvh()+cm.HostCopy(fc.Bytes))
+		m.Send(t, rank, parent, fc.Bytes, fc, ptag(fkReduce, coll, parent, rank, seq))
+		fc.opDone(rank, t)
+		return
+	}
+	// Accumulator init: the charged copy out of sendbuf.
+	m.HostRun(rank, at, cm.HostCopy(fc.Bytes))
+	fc.reduceLoop(rank, fr)
+}
+
+// reduceLoop receives from each child in turn, charging ReduceOp per
+// contribution, then forwards the combined result to the parent.
+func (fc *FlowColl) reduceLoop(rank int, fr *frank) {
+	m, cm := fc.M, fc.M.CMs[rank]
+	op := &fr.op
+	for {
+		c := nextChild(op)
+		if c < 0 {
+			if op.parent >= 0 {
+				t := m.HostRun(rank, m.Busy[rank], cm.HostSendOvh()+cm.HostCopy(fc.Bytes))
+				m.Send(t, rank, int(op.parent), fc.Bytes, fc, ptag(fkReduce, op.coll, int(op.parent), rank, op.seq))
+			}
+			fc.opDone(rank, m.Busy[rank])
+			return
+		}
+		if !fc.recvStart(rank, fr, fkReduce, int32(c), op.seq, int32(fc.Bytes)) {
+			return // blocked; a future delivery resumes via opAdvance
+		}
+		m.HostRun(rank, m.Busy[rank], cm.ReduceOp(fc.Count, 8))
+	}
+}
+
+// barrierLoop advances the barrier state machine: phase 0 receives the
+// subtree's combine tokens, phase 1 reports up and waits for the
+// release, phase 2 forwards the release down.
+func (fc *FlowColl) barrierLoop(rank int, fr *frank) {
+	m, cm := fc.M, fc.M.CMs[rank]
+	op := &fr.op
+	if op.phase == 0 {
+		for {
+			c := nextChild(op)
+			if c < 0 {
+				op.phase = 1
+				break
+			}
+			if !fc.recvStart(rank, fr, fkBarUp, int32(c), op.seq, 1) {
+				return
+			}
+		}
+	}
+	if op.phase == 1 {
+		op.phase = 2
+		if op.parent >= 0 {
+			t := m.HostRun(rank, m.Busy[rank], cm.HostSendOvh()+cm.HostCopy(1))
+			m.Send(t, rank, int(op.parent), 1, fc, ptag(fkBarUp, false, int(op.parent), rank, op.seq))
+			if !fc.recvStart(rank, fr, fkBarDown, op.parent, op.seq, 1) {
+				return
+			}
+		}
+	}
+	for it := Kids(rank, 0, fc.Size); ; {
+		c := it.Next()
+		if c < 0 {
+			break
+		}
+		t := m.HostRun(rank, m.Busy[rank], cm.HostSendOvh()+cm.HostCopy(1))
+		m.Send(t, rank, c, 1, fc, ptag(fkBarDown, false, c, rank, op.seq))
+	}
+	fc.opDone(rank, m.Busy[rank])
+}
+
+// nextChild advances the op's child cursor: the materialized list when
+// one is set, the binomial iterator otherwise.
+func nextChild(op *fop) int {
+	if op.kids != nil {
+		if op.ki < len(op.kids) {
+			c := op.kids[op.ki]
+			op.ki++
+			return c
+		}
+		return -1
+	}
+	return op.it.Next()
+}
+
+// abInternal is the internal-rank application-bypass call (Fig. 3 left
+// column): disable signals, charge the accumulator copy and descriptor
+// push, drain early contributions from the AB unexpected queue, run one
+// progress pass over whatever the NIC already delivered, re-arm signals
+// iff the instance is still outstanding, and return.
+func (fc *FlowColl) abInternal(rank int, at sim.Time, seq uint64, parent int) {
+	m, cm := fc.M, fc.M.CMs[rank]
+	fr := &fc.ranks[rank]
+	fr.sigOn = false
+	t := m.HostRun(rank, at, cm.HostCopy(fc.Bytes))
+	t = m.HostRun(rank, t, cm.DescriptorOvh())
+
+	pend := fc.getPend()
+	if fc.Tree != nil {
+		for _, c := range fc.Tree.kids[fc.Tree.off[rank]:fc.Tree.off[rank+1]] {
+			pend = append(pend, c)
+		}
+	} else {
+		for it := Kids(rank, fc.Root, fc.Size); ; {
+			c := it.Next()
+			if c < 0 {
+				break
+			}
+			pend = append(pend, int32(c))
+		}
+	}
+	fr.descs = append(fr.descs, fdesc{seq: mseq(seq), parent: int32(parent), pending: pend})
+	di := len(fr.descs) - 1
+
+	// drainUBQ: combine queued early messages straight from the queue.
+	for i := 0; i < len(fr.abq) && len(fr.descs[di].pending) > 0; {
+		pk := fr.abq[i]
+		d := &fr.descs[di]
+		if pk.seq != d.seq || !pendingHas(d, pk.src) {
+			i++
+			continue
+		}
+		t = m.HostRun(rank, t, cm.QueueSearch(i+1))
+		fr.abq = append(fr.abq[:i], fr.abq[i+1:]...)
+		fc.Early++
+		t = m.HostRun(rank, t, cm.ReduceOp(fc.Count, 8))
+		removePending(d, pk.src)
+	}
+	if len(fr.descs[di].pending) == 0 {
+		fc.completeDesc(rank, fr, di, false)
+	} else {
+		// syncPhase's progress pass: handle every delivered message.
+		for fr.nh < len(fr.nicq) {
+			pkt := fr.nicq[fr.nh]
+			fr.nh++
+			fc.processPkt(rank, fr, pkt, false)
+		}
+		fr.resetq()
+	}
+	fr.sigOn = len(fr.descs) > 0
+	fc.opDone(rank, m.Busy[rank])
+}
+
+// recvStart begins a blocking receive at rank's current host time:
+// charge the receive overhead and unexpected-queue search, match a
+// buffered message (second copy) or post and drain the NIC queue until
+// matched. Returns true when the receive completed synchronously; false
+// when the rank is parked polling and a future delivery will resume it.
+func (fc *FlowColl) recvStart(rank int, fr *frank, kind uint8, src int32, seq uint64, size int32) bool {
+	m, cm := fc.M, fc.M.CMs[rank]
+	t := m.HostRun(rank, m.Busy[rank], cm.HostRecvOvh()+cm.QueueSearch(len(fr.unexp)))
+	for i, pk := range fr.unexp {
+		if pk.kind == kind && pk.src == src && pk.seq == seq {
+			fr.unexp = append(fr.unexp[:i], fr.unexp[i+1:]...)
+			m.HostRun(rank, t, cm.HostCopy(int(size)))
+			return true
+		}
+	}
+	op := &fr.op
+	op.pkind, op.psrc, op.pseq, op.psize = kind, src, seq, size
+	op.waiting = true
+	for op.waiting && fr.nh < len(fr.nicq) {
+		pkt := fr.nicq[fr.nh]
+		fr.nh++
+		fc.processPkt(rank, fr, pkt, false)
+	}
+	fr.resetq()
+	return !op.waiting
+}
+
+// processPkt is handlePacket: return the receive token, charge the
+// dequeue cost, consume a pending signal the progress engine beat the
+// handler to, run the AB hook for collective messages, then default
+// matching. Returns true when the message completed the posted receive
+// (the caller resumes the op). intr routes charges to the interrupt
+// ledger (signal-handler context).
+func (fc *FlowColl) processPkt(rank int, fr *frank, pkt fpkt, intr bool) bool {
+	m, cm := fc.M, fc.M.CMs[rank]
+	ts := m.Busy[rank]
+	if pkt.tr > ts {
+		ts = pkt.tr
+	}
+	m.ReleaseRecv(rank, ts)
+	cost := cm.PollIter()
+	if pkt.coll && fr.sigPend {
+		// The signal raised for this message loses the race with the
+		// polling host; the handler will find nothing.
+		cost += cm.SignalIgnoredOvh()
+		fr.sigPend = false
+	}
+	if pkt.coll {
+		// AB hook: search the descriptor queue for the instance.
+		cost += cm.QueueSearch(len(fr.descs))
+		if di := fc.findDesc(fr, pkt.seq, pkt.src); di >= 0 {
+			cost += cm.ReduceOp(fc.Count, 8)
+			fc.hostCharge(rank, ts, cost, intr)
+			d := &fr.descs[di]
+			removePending(d, pkt.src)
+			if len(d.pending) == 0 {
+				fc.completeDesc(rank, fr, di, intr)
+			}
+			return false
+		}
+		if rank != fc.Root {
+			// No descriptor yet: copy into the AB unexpected queue.
+			cost += cm.HostCopy(int(pkt.size))
+			fc.hostCharge(rank, ts, cost, intr)
+			fr.abq = append(fr.abq, pkt)
+			return false
+		}
+		// Fig. 4 root check: fall through to default matching.
+	}
+	posted := 0
+	if fr.op.waiting {
+		posted = 1
+	}
+	cost += cm.QueueSearch(posted)
+	cost += cm.HostCopy(int(pkt.size))
+	fc.hostCharge(rank, ts, cost, intr)
+	if fr.op.waiting && pkt.kind == fr.op.pkind && pkt.src == fr.op.psrc && pkt.seq == fr.op.pseq {
+		fr.op.waiting = false
+		return true
+	}
+	fr.unexp = append(fr.unexp, pkt)
+	return false
+}
+
+// completeDesc finishes descriptor di: the eager upward send of the
+// combined result, metrics, and the Fig. 3 signal re-arm.
+func (fc *FlowColl) completeDesc(rank int, fr *frank, di int, intr bool) {
+	m, cm := fc.M, fc.M.CMs[rank]
+	d := fr.descs[di]
+	t := fc.hostCharge(rank, m.Busy[rank], cm.HostSendOvh()+cm.HostCopy(fc.Bytes), intr)
+	m.Send(t, rank, int(d.parent), fc.Bytes, fc, ptag(fkReduce, true, int(d.parent), rank, d.seq))
+	fc.Completed++
+	fc.putPend(d.pending)
+	fr.descs = append(fr.descs[:di], fr.descs[di+1:]...)
+	fr.sigOn = len(fr.descs) > 0
+}
+
+// hostCharge advances rank's host clock, routing to the interrupt
+// ledger in handler context.
+func (fc *FlowColl) hostCharge(rank int, at, cost sim.Time, intr bool) sim.Time {
+	if intr {
+		return fc.M.HostIntr(rank, at, cost)
+	}
+	return fc.M.HostRun(rank, at, cost)
+}
+
+func (fc *FlowColl) findDesc(fr *frank, seq uint64, src int32) int {
+	for i := range fr.descs {
+		if fr.descs[i].seq == seq && pendingHas(&fr.descs[i], src) {
+			return i
+		}
+	}
+	return -1
+}
+
+func pendingHas(d *fdesc, src int32) bool {
+	for _, c := range d.pending {
+		if c == src {
+			return true
+		}
+	}
+	return false
+}
+
+func removePending(d *fdesc, src int32) {
+	for i, c := range d.pending {
+		if c == src {
+			d.pending = append(d.pending[:i], d.pending[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("coll: child %d not pending on flow descriptor seq=%d", src, d.seq))
+}
+
+// opDone ends rank's blocking call at host time t.
+func (fc *FlowColl) opDone(rank int, t sim.Time) {
+	fr := &fc.ranks[rank]
+	fr.op.kind, fr.op.waiting, fr.op.kids = opNone, false, nil
+	if fc.Done != nil {
+		fc.Done(rank, t)
+	}
+}
+
+// opAdvance resumes rank's op after a posted receive matched.
+func (fc *FlowColl) opAdvance(rank int, fr *frank) {
+	m, cm := fc.M, fc.M.CMs[rank]
+	switch fr.op.kind {
+	case opReduce:
+		m.HostRun(rank, m.Busy[rank], cm.ReduceOp(fc.Count, 8))
+		fc.reduceLoop(rank, fr)
+	case opBarrier:
+		fc.barrierLoop(rank, fr)
+	case opRecv:
+		fc.opDone(rank, m.Busy[rank])
+	default:
+		panic("coll: flow delivery resumed an idle rank")
+	}
+}
+
+// FlowEvent receives Machine callbacks: message deliveries and signal-
+// handler wakeups.
+func (fc *FlowColl) FlowEvent(tag uint64, at sim.Time) {
+	kind := uint8(tag & 7)
+	dst := int(tag >> 4 & 0x1FFFFF)
+	if kind == fkSignal {
+		fc.onSignal(dst, at)
+		return
+	}
+	pkt := fpkt{
+		kind: kind,
+		coll: tag&8 != 0,
+		src:  int32(tag >> 25 & 0x1FFFFF),
+		seq:  tag >> 46,
+		tr:   at,
+	}
+	switch kind {
+	case fkReduce:
+		pkt.size = int32(fc.Bytes)
+	case fkBarUp, fkBarDown:
+		pkt.size = 1
+	case fkP2P:
+		pkt.size = int32(fc.P2PBytes)
+	}
+	fc.deliver(dst, pkt)
+}
+
+// deliver routes one NIC deposit: raise a (coalesced) signal for
+// collective messages when armed, process immediately when the rank is
+// parked polling in a blocking call, queue otherwise.
+func (fc *FlowColl) deliver(dst int, pkt fpkt) {
+	fr := &fc.ranks[dst]
+	if pkt.coll && fr.sigOn && !fr.sigPend {
+		fr.sigPend = true
+		fc.M.WakeAt(pkt.tr+fc.M.CMs[dst].C.SignalDelay, fc, ptag(fkSignal, false, dst, 0, 0))
+	}
+	if fr.op.waiting {
+		if fc.processPkt(dst, fr, pkt, false) {
+			fc.opAdvance(dst, fr)
+		}
+		return
+	}
+	fr.nicq = append(fr.nicq, pkt)
+}
+
+// onSignal is the NIC signal handler at its delayed start time: stale
+// if in-call progress consumed the pending raise; SignalIgnoredOvh if
+// the queue drained in the meantime; otherwise SignalOvh plus a full
+// progress pass, all on the interrupt ledger.
+func (fc *FlowColl) onSignal(rank int, th sim.Time) {
+	fr := &fc.ranks[rank]
+	if !fr.sigPend {
+		return
+	}
+	fr.sigPend = false
+	m, cm := fc.M, fc.M.CMs[rank]
+	if fr.nh >= len(fr.nicq) {
+		m.HostIntr(rank, th, cm.SignalIgnoredOvh())
+		return
+	}
+	m.HostIntr(rank, th, cm.SignalOvh())
+	fc.Signals[rank]++
+	for fr.nh < len(fr.nicq) {
+		pkt := fr.nicq[fr.nh]
+		fr.nh++
+		fc.processPkt(rank, fr, pkt, true)
+	}
+	fr.resetq()
+}
+
+func (fr *frank) resetq() {
+	if fr.nh >= len(fr.nicq) {
+		fr.nicq, fr.nh = fr.nicq[:0], 0
+	}
+}

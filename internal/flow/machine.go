@@ -1,0 +1,358 @@
+package flow
+
+import (
+	"fmt"
+
+	"abred/internal/fault"
+	"abred/internal/model"
+	"abred/internal/sim"
+	"abred/internal/topo"
+)
+
+// HeaderBytes is the wire overhead per frame, matching gm's packet
+// header charge so flow transfer times line up with packet-mode
+// serialization byte for byte.
+const HeaderBytes = 48
+
+// Machine wraps a Net with the per-node machinery the packet engine
+// models with goroutines and daemons: NIC packet-processing
+// serialization, GM send/receive token accounting, and the expected-
+// retransmission loss cost. It also owns the per-node virtual clocks
+// (host busy-until, interrupt accrual, signal coalescing windows) that
+// the flow-mode collective and workload layers advance arithmetically
+// instead of executing on simulated processes.
+//
+// Everything runs in scheduler context on one kernel; timestamps handed
+// to Send/WakeAt may lie in the virtual future (host chains extend past
+// the current event) but never in the past.
+type Machine struct {
+	K   *sim.Kernel
+	Net *Net
+	CMs []model.CostModel
+
+	// Per-node clocks, advanced arithmetically by the layers above:
+	// Busy is the host's busy-until time; Intr accumulates handler time
+	// charged into the current interruptible spin segment; SigUntil is
+	// the end of the current signal coalescing window (a second NIC
+	// signal raised while one is pending is ignored).
+	Busy     []sim.Time
+	Intr     []sim.Time
+	SigUntil []sim.Time
+
+	nicFree []sim.Time
+
+	// GM token accounting. SendTokens bounds a node's in-flight sends:
+	// the token is taken when the NIC injects the flow and returned when
+	// the transfer completes, exactly the send-callback semantics the
+	// packet engine's NIC models; sends past the allotment queue FIFO.
+	// RecvTokens bounds deliveries awaiting host processing: delivery k
+	// at a node stalls until the host has returned the buffer of
+	// delivery k-RecvTokens (see ReleaseRecv).
+	SendTokens int
+	RecvTokens int
+
+	outst    []int32
+	waitq    []sendq
+	recvPend [][]sim.Time
+
+	lossP     float64 // per-frame drop probability (uniform rule)
+	maxFrame  int
+	hostStall uint64  // sends that waited for a send token
+	recvStall uint64  // deliveries that waited for a receive token
+	expRetr   float64 // expected retransmitted frames (loss model)
+
+	mfree []*msg
+	tfree []*timer
+}
+
+// sendq is one node's FIFO of token-stalled sends.
+type sendq struct {
+	q []*msg
+	h int
+}
+
+// NewMachine builds the per-node layer over a fresh Net. t may be nil
+// (crossbar).
+func NewMachine(k *sim.Kernel, t *topo.Topology, cms []model.CostModel, c model.Costs) *Machine {
+	n := len(cms)
+	m := &Machine{
+		K:          k,
+		Net:        NewNet(k, t, n, c),
+		CMs:        cms,
+		Busy:       make([]sim.Time, n),
+		Intr:       make([]sim.Time, n),
+		SigUntil:   make([]sim.Time, n),
+		nicFree:    make([]sim.Time, n),
+		SendTokens: 61,  // gm.DefaultSendTokens
+		RecvTokens: 256, // gm.DefaultRecvTokens
+		outst:      make([]int32, n),
+		waitq:      make([]sendq, n),
+		recvPend:   make([][]sim.Time, n),
+		maxFrame:   c.MaxPayload,
+	}
+	return m
+}
+
+// SetFaults installs the flow engine's degraded loss model from a fault
+// plan: a uniform per-frame drop probability p adds each flow's
+// expected go-back-N retransmission latency,
+//
+//	frames · p/(1-p) · RTO(hops),
+//
+// as deterministic extra pipeline latency (RTO matches gm's hop-scaled
+// timeout: 150 µs + 25 µs per switch crossing beyond the first). This
+// is an expected-value model — no RNG, no per-frame outcomes — so a
+// lossy flow run is smooth where a lossy packet run is bursty; the
+// cross-validation band covers the difference. Fault features that name
+// individual frames or links (scripts, per-link rules, duplication,
+// jitter) have no per-flow expectation worth committing to and are
+// rejected.
+func (m *Machine) SetFaults(fc fault.Config) error {
+	if !fc.Enabled() {
+		m.lossP = 0
+		return nil
+	}
+	if len(fc.Links) > 0 || len(fc.Scripts) > 0 || fc.Dup != 0 || fc.JitterP != 0 {
+		return fmt.Errorf("flow: only a uniform drop rule is modeled (got %+v)", fc)
+	}
+	if fc.Drop < 0 || fc.Drop >= 1 {
+		return fmt.Errorf("flow: drop probability %v out of [0,1)", fc.Drop)
+	}
+	m.lossP = fc.Drop
+	return nil
+}
+
+// Reset returns the machine (and its Net) to the just-built state.
+func (m *Machine) Reset() {
+	for i := range m.Busy {
+		m.Busy[i] = 0
+		m.Intr[i] = 0
+		m.SigUntil[i] = 0
+		m.nicFree[i] = 0
+		m.outst[i] = 0
+		q := &m.waitq[i]
+		for j := q.h; j < len(q.q); j++ {
+			q.q[j] = nil
+		}
+		q.q, q.h = q.q[:0], 0
+		m.recvPend[i] = m.recvPend[i][:0]
+	}
+	m.lossP = 0
+	m.hostStall, m.recvStall, m.expRetr = 0, 0, 0
+	m.Net.Reset()
+}
+
+// Tokens reports the token-accounting totals: sends stalled for a send
+// token, deliveries stalled for a receive token, and the loss model's
+// expected retransmitted-frame count.
+func (m *Machine) Tokens() (hostStalls, recvStalls uint64, expRetransmits float64) {
+	return m.hostStall, m.recvStall, m.expRetr
+}
+
+// frames returns the wire-frame count of a payload (gm fragments at
+// MaxPayload).
+func (m *Machine) frames(payload int) int {
+	if payload <= m.maxFrame {
+		return 1
+	}
+	return (payload + m.maxFrame - 1) / m.maxFrame
+}
+
+// lossLat returns the expected retransmission latency for nf frames
+// crossing `switches` crossbar stages, zero on a clean fabric.
+func (m *Machine) lossLat(nf, switches int) (sim.Time, float64) {
+	if m.lossP == 0 {
+		return 0, 0
+	}
+	rto := relBaseRTO + sim.Time(switches-1)*relHopRTO
+	ev := float64(nf) * m.lossP / (1 - m.lossP)
+	return sim.Time(ev * float64(rto)), ev
+}
+
+// gm's reliability constants (internal/gm/reliability.go), mirrored so
+// the loss expectation uses the exact timeout the packet engine arms.
+const (
+	relBaseRTO = 150 * sim.Time(1000)
+	relHopRTO  = 25 * sim.Time(1000)
+)
+
+// msg is one in-flight Send: a pooled Runner for its NIC injection
+// instant and the Handler for its own flow completion.
+type msg struct {
+	m       *Machine
+	src     int32
+	dst     int32
+	payload int32
+	extra   sim.Time
+	h       Handler
+	tag     uint64
+}
+
+// RunEvent fires at the source NIC's injection instant: take a send
+// token (or queue for one) and start the flow.
+func (ms *msg) RunEvent() {
+	m := ms.m
+	if int(m.outst[ms.src]) >= m.SendTokens {
+		m.hostStall++
+		m.waitq[ms.src].q = append(m.waitq[ms.src].q, ms)
+		return
+	}
+	m.launch(ms)
+}
+
+// launch starts ms's flow, holding one of src's send tokens.
+func (m *Machine) launch(ms *msg) {
+	m.outst[ms.src]++
+	if ms.src == ms.dst {
+		// Loopback never crosses the fabric: the NIC deposits locally.
+		ms.FlowEvent(0, m.K.Now())
+		return
+	}
+	wire := int(ms.payload) + HeaderBytes*m.frames(int(ms.payload))
+	m.Net.Start(int(ms.src), int(ms.dst), wire, ms.extra, ms, 0)
+}
+
+// FlowEvent completes ms's transfer at time end: return the send token
+// (launching the next queued send, if any), serialize through the
+// destination NIC under the receive-token gate, and hand the delivery
+// time to the user handler.
+func (ms *msg) FlowEvent(_ uint64, end sim.Time) {
+	m := ms.m
+	m.outst[ms.src]--
+	if q := &m.waitq[ms.src]; q.h < len(q.q) {
+		next := q.q[q.h]
+		q.q[q.h] = nil
+		q.h++
+		if q.h == len(q.q) {
+			q.q, q.h = q.q[:0], 0
+		}
+		m.launch(next)
+	}
+
+	dst := int(ms.dst)
+	start := end
+	if m.nicFree[dst] > start {
+		start = m.nicFree[dst]
+	}
+	if rp := m.recvPend[dst]; m.RecvTokens > 0 && len(rp) >= m.RecvTokens {
+		if g := rp[len(rp)-m.RecvTokens]; g > start {
+			m.recvStall++
+			start = g
+		}
+	}
+	tr := start + m.CMs[dst].NICPkt(int(ms.payload))
+	m.nicFree[dst] = tr
+
+	h, tag := ms.h, ms.tag
+	ms.h = nil
+	m.mfree = append(m.mfree, ms)
+	h.FlowEvent(tag, tr)
+}
+
+// Send transfers payload bytes from src to dst, with the NIC picking
+// the message up at host time `at` (clamped to the NIC's own timeline).
+// h.FlowEvent(tag, deliveredAt) fires when the destination NIC has
+// deposited the message; the handler must call ReleaseRecv(dst, t) with
+// the host's buffer-return time before it returns, keeping the
+// receive-token ledger aligned with deliveries.
+func (m *Machine) Send(at sim.Time, src, dst, payload int, h Handler, tag uint64) {
+	cm := m.CMs[src]
+	tn := at
+	if m.nicFree[src] > tn {
+		tn = m.nicFree[src]
+	}
+	tn += cm.NICPkt(payload)
+	m.nicFree[src] = tn
+
+	var ms *msg
+	if n := len(m.mfree); n > 0 {
+		ms = m.mfree[n-1]
+		m.mfree = m.mfree[:n-1]
+	} else {
+		ms = &msg{m: m}
+	}
+	ms.src, ms.dst = int32(src), int32(dst)
+	ms.payload = int32(payload)
+	ms.h, ms.tag = h, tag
+	ms.extra = 0
+	if m.lossP != 0 && src != dst {
+		sw := 1
+		if m.Net.T != nil {
+			sw = m.Net.T.Hops(src, dst)
+		}
+		lat, ev := m.lossLat(m.frames(payload), sw)
+		ms.extra = lat
+		m.expRetr += ev
+	}
+
+	d := tn - m.K.Now()
+	if d < 0 {
+		panic("flow: Send in the virtual past")
+	}
+	m.K.AfterRunner(d, ms)
+}
+
+// ReleaseRecv records that dst's host returned a delivered message's
+// buffer at time t — one call per delivery, in delivery order.
+func (m *Machine) ReleaseRecv(dst int, t sim.Time) {
+	rp := append(m.recvPend[dst], t)
+	// Only the last RecvTokens entries can ever gate; prune in bulk.
+	if tok := m.RecvTokens; tok > 0 && len(rp) > 4*tok {
+		rp = rp[:copy(rp, rp[len(rp)-tok:])]
+	}
+	m.recvPend[dst] = rp
+}
+
+// timer is a pooled WakeAt event.
+type timer struct {
+	m   *Machine
+	h   Handler
+	tag uint64
+	at  sim.Time
+}
+
+// RunEvent delivers the wakeup.
+func (t *timer) RunEvent() {
+	m, h, tag, at := t.m, t.h, t.tag, t.at
+	t.h = nil
+	m.tfree = append(m.tfree, t)
+	h.FlowEvent(tag, at)
+}
+
+// WakeAt schedules h.FlowEvent(tag, t) at virtual time t (>= now).
+func (m *Machine) WakeAt(t sim.Time, h Handler, tag uint64) {
+	var tm *timer
+	if n := len(m.tfree); n > 0 {
+		tm = m.tfree[n-1]
+		m.tfree = m.tfree[:n-1]
+	} else {
+		tm = &timer{m: m}
+	}
+	tm.h, tm.tag, tm.at = h, tag, t
+	d := t - m.K.Now()
+	if d < 0 {
+		panic("flow: WakeAt in the virtual past")
+	}
+	m.K.AfterRunner(d, tm)
+}
+
+// HostRun charges cost on rank r's host timeline starting no earlier
+// than at, returning the completion time.
+func (m *Machine) HostRun(r int, at, cost sim.Time) sim.Time {
+	t := m.Busy[r]
+	if at > t {
+		t = at
+	}
+	t += cost
+	m.Busy[r] = t
+	return t
+}
+
+// HostIntr is HostRun for asynchronous handler work that interrupts the
+// application: the cost also accrues to the rank's interrupt ledger,
+// which the spin-segment drivers consume (see bench's flow path).
+func (m *Machine) HostIntr(r int, at, cost sim.Time) sim.Time {
+	t := m.HostRun(r, at, cost)
+	m.Intr[r] += cost
+	return t
+}

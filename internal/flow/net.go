@@ -1,0 +1,445 @@
+// Package flow implements the flow-level hybrid-fidelity engine: the
+// cheap abstraction layer that simulates 65536–1M nodes behind the same
+// cluster API as the packet-level kernel.
+//
+// Instead of per-packet events through the fabric, each logical
+// transfer (a message, a collective tree edge) is one Flow with a
+// source, destination, size in wire bytes and a route over topo links.
+// Active flows share link bandwidth by progressive max-min fairness:
+// whenever a flow starts or finishes, the fair shares of every flow in
+// the affected connected component are recomputed by water-filling and
+// their completion events rescheduled through the existing sim.Kernel
+// (4-ary heap, pooled Runner events, generation-checked cancelation).
+//
+// What stays exact relative to the packet engine: skew draws, GM
+// send/receive token accounting, reduction-tree structure, per-node
+// host/NIC scalar costs, and the deterministic D-mod-k routes (a flow
+// occupies exactly the links topo.Route reports for the packet path).
+// What degrades: per-packet FIFO queueing becomes fluid bandwidth
+// sharing, and per-packet loss becomes a per-flow expected
+// retransmission latency (see Machine). The cross-validation tests in
+// internal/bench pin the resulting error band on the 32–16384 envelope.
+package flow
+
+import (
+	"math"
+
+	"abred/internal/model"
+	"abred/internal/sim"
+	"abred/internal/topo"
+)
+
+// Handler receives flow-engine callbacks: flow deliveries and timer
+// wakeups. Components dispatch on their own tag encodings, so one
+// Handler implementation serves many outstanding operations without a
+// closure per event.
+type Handler interface {
+	FlowEvent(tag uint64, at sim.Time)
+}
+
+// slotBits packs (flow id, route slot) into one int32 list reference:
+// ref = id<<slotBits | slot. Routes are at most 2 + topo.MaxHops links,
+// so 6 bits of slot leave 25 bits of flow id — far beyond any
+// concurrent-flow population the pool reaches.
+const slotBits = 6
+
+// Flow is one in-flight transfer. Flows are pooled; all fields are
+// overwritten on reuse. A Flow is also the Runner for its own
+// completion event.
+type Flow struct {
+	nt        *Net
+	id        int32
+	links     []int32 // route: inject, topo links (up then down), eject
+	next      []int32 // per-slot intrusive list refs (packed id<<6|slot)
+	prev      []int32 // packed ref, or -2-link when first in the list
+	rate      float64 // current fair share, bytes/ns; <0 before first fill
+	remaining float64 // wire bytes not yet through the bottleneck
+	updated   sim.Time
+	start     sim.Time
+	lat       sim.Time // constant pipeline latency added at completion
+	bytes     int64
+	h         Handler
+	tag       uint64
+	ev        sim.EventRef
+	mark      uint32 // closure-membership epoch
+	frozen    bool   // water-filling scratch
+}
+
+// RunEvent fires the flow's completion: the last byte has crossed the
+// bottleneck. The flow leaves its links, the affected component is
+// re-shared, and the handler is told the delivery time now+lat (the
+// pipeline tail draining the downstream hops).
+func (f *Flow) RunEvent() { f.nt.finish(f) }
+
+// Net is the bandwidth substrate: every host's injection and ejection
+// link plus the topology's inter-switch links, each with the uniform
+// wire capacity, shared by max-min fairness among the flows routed over
+// them.
+//
+// Link ids: host i injects on link 2i and ejects on link 2i+1; topo
+// link l (as numbered by topo.Route) is Net link 2n+l. A Net belongs to
+// one kernel and is single-threaded in scheduler context, like every
+// other simulation layer.
+type Net struct {
+	K *sim.Kernel
+	T *topo.Topology // nil or single-switch = crossbar
+
+	n        int
+	base     int     // first topo link id (= 2n)
+	capBns   float64 // link capacity, bytes/ns
+	hopLat   sim.Time
+	maxRoute int
+
+	head  []int32 // per link: packed ref of the first flow slot, -1 none
+	nf    []int32 // per link: active flows routed over it
+	lmark []uint32
+	lslot []int32 // link -> index into the current closure's clinks
+
+	flows []*Flow
+	freef []int32
+	epoch uint32
+	path  topo.Path
+
+	// water-filling scratch, reused across recomputes
+	cflows []*Flow
+	clinks []int32
+	resid  []float64
+	acnt   []int32
+
+	active    int
+	started   uint64
+	maxActive int
+	// Contention analogues of the packet fabric's TopoStats: flows
+	// delivered later than their uncontended completion time, and the
+	// total virtual time so lost.
+	delayed    uint64
+	delayTotal sim.Time
+
+	sampleFCT bool
+	fct       []sim.Time
+}
+
+// NewNet builds the substrate for n hosts on topology t (nil =
+// crossbar) under the given cost constants.
+func NewNet(k *sim.Kernel, t *topo.Topology, n int, c model.Costs) *Net {
+	nt := &Net{K: k, n: n, base: 2 * n}
+	nlinks := 2 * n
+	nt.maxRoute = 2
+	if t != nil && t.Levels() > 1 {
+		nt.T = t
+		nlinks += t.Links()
+		nt.maxRoute = 2 + 2*(t.Levels()-1)
+	}
+	nt.capBns = c.WireMBps * 1e6 / 1e9
+	nt.hopLat = c.WireProp + c.SwitchHop
+	nt.head = make([]int32, nlinks)
+	for i := range nt.head {
+		nt.head[i] = -1
+	}
+	nt.nf = make([]int32, nlinks)
+	nt.lmark = make([]uint32, nlinks)
+	nt.lslot = make([]int32, nlinks)
+	return nt
+}
+
+// Reset returns the Net to its just-built state for a cluster reuse
+// run. All flows must have completed (the simulation ran to
+// quiescence); pooled Flow structs and link arrays keep their capacity.
+func (nt *Net) Reset() {
+	if nt.active != 0 {
+		panic("flow: Reset with active flows")
+	}
+	nt.started = 0
+	nt.maxActive = 0
+	nt.delayed = 0
+	nt.delayTotal = 0
+	nt.fct = nt.fct[:0]
+}
+
+// Nodes returns the host count.
+func (nt *Net) Nodes() int { return nt.n }
+
+// SampleFCT enables per-flow completion-time recording (delivery minus
+// start) for distribution summaries.
+func (nt *Net) SampleFCT(on bool) { nt.sampleFCT = on }
+
+// FCTs returns the recorded flow completion times in completion order.
+func (nt *Net) FCTs() []sim.Time { return nt.fct }
+
+// Stats reports flows started, the peak concurrent flow population, and
+// the contention totals (flows delayed past their uncontended
+// completion, and the virtual time lost).
+func (nt *Net) Stats() (started uint64, maxActive int, delayed uint64, delayTotal sim.Time) {
+	return nt.started, nt.maxActive, nt.delayed, nt.delayTotal
+}
+
+// RouteLinks appends the Net link ids a src->dst flow occupies, in
+// traversal order (inject, up-links, down-links, eject) — the exposed
+// form of the route construction Start uses, for tests that compare
+// against the packet path.
+func (nt *Net) RouteLinks(dst []int32, src, dstNode int) []int32 {
+	dst = append(dst, int32(2*src))
+	if nt.T != nil {
+		nt.T.Route(src, dstNode, &nt.path)
+		for i := 0; i < nt.path.N; i++ {
+			dst = append(dst, int32(nt.base)+nt.path.Links[i])
+		}
+	}
+	return append(dst, int32(2*dstNode+1))
+}
+
+// Start launches a flow of wireBytes from src to dst at the current
+// virtual time. extraLat is constant latency added to the pipeline
+// (the Machine's expected-retransmission loss cost); the topology
+// crossing latency is computed here. h.FlowEvent(tag, deliveredAt)
+// fires when the flow completes.
+func (nt *Net) Start(src, dst, wireBytes int, extraLat sim.Time, h Handler, tag uint64) {
+	f := nt.getFlow()
+	f.links = f.links[:0]
+	f.links = append(f.links, int32(2*src))
+	switches := 1
+	if nt.T != nil {
+		nt.T.Route(src, dst, &nt.path)
+		for i := 0; i < nt.path.N; i++ {
+			f.links = append(f.links, int32(nt.base)+nt.path.Links[i])
+		}
+		switches = nt.path.Switches
+	}
+	f.links = append(f.links, int32(2*dst+1))
+
+	now := nt.K.Now()
+	f.rate = -1
+	f.remaining = float64(wireBytes)
+	f.bytes = int64(wireBytes)
+	f.updated = now
+	f.start = now
+	f.lat = sim.Time(switches)*nt.hopLat + extraLat
+	f.h = h
+	f.tag = tag
+
+	alone := true
+	for s, li := range f.links {
+		nt.link(f, s, li)
+		if nt.nf[li] > 1 {
+			alone = false
+		}
+	}
+	nt.started++
+	nt.active++
+	if nt.active > nt.maxActive {
+		nt.maxActive = nt.active
+	}
+
+	if alone {
+		nt.setRate(f, nt.capBns, now)
+		return
+	}
+	nt.epoch++
+	nt.cflows = nt.cflows[:0]
+	f.mark = nt.epoch
+	nt.cflows = append(nt.cflows, f)
+	nt.reshare(now)
+}
+
+// finish completes flow f: unlink, re-share the component it leaves
+// behind, deliver, recycle.
+func (nt *Net) finish(f *Flow) {
+	now := nt.K.Now()
+	nt.epoch++
+	nt.cflows = nt.cflows[:0]
+	needs := false
+	for s, li := range f.links {
+		nt.unlink(f, s, li)
+		if nt.nf[li] > 0 {
+			needs = true
+			for ref := nt.head[li]; ref >= 0; {
+				g := nt.flows[ref>>slotBits]
+				if g.mark != nt.epoch {
+					g.mark = nt.epoch
+					nt.cflows = append(nt.cflows, g)
+				}
+				ref = g.next[ref&(1<<slotBits-1)]
+			}
+		}
+	}
+	nt.active--
+	if needs {
+		nt.reshare(now)
+	}
+
+	end := now + f.lat
+	if want := now - f.start; true {
+		uncont := sim.Time(math.Ceil(float64(f.bytes) / nt.capBns))
+		if want > uncont {
+			nt.delayed++
+			nt.delayTotal += want - uncont
+		}
+	}
+	if nt.sampleFCT {
+		nt.fct = append(nt.fct, end-f.start)
+	}
+	h, tag := f.h, f.tag
+	nt.putFlow(f)
+	h.FlowEvent(tag, end)
+}
+
+// reshare runs exact max-min water-filling over the connected component
+// seeded in nt.cflows (marked with the current epoch): expand the
+// closure over shared links, then repeatedly freeze the flows of the
+// tightest link at its equal share. Components are small in practice —
+// a handful of flows meeting at a fan-in link — so the scratch slices
+// stay tiny; correctness does not depend on that.
+func (nt *Net) reshare(now sim.Time) {
+	nt.clinks = nt.clinks[:0]
+	for i := 0; i < len(nt.cflows); i++ {
+		f := nt.cflows[i]
+		f.frozen = false
+		for _, li := range f.links {
+			if nt.lmark[li] == nt.epoch {
+				continue
+			}
+			nt.lmark[li] = nt.epoch
+			nt.lslot[li] = int32(len(nt.clinks))
+			nt.clinks = append(nt.clinks, li)
+			for ref := nt.head[li]; ref >= 0; {
+				g := nt.flows[ref>>slotBits]
+				if g.mark != nt.epoch {
+					g.mark = nt.epoch
+					nt.cflows = append(nt.cflows, g)
+				}
+				ref = g.next[ref&(1<<slotBits-1)]
+			}
+		}
+	}
+
+	nl := len(nt.clinks)
+	if cap(nt.resid) < nl {
+		nt.resid = make([]float64, nl)
+		nt.acnt = make([]int32, nl)
+	}
+	nt.resid = nt.resid[:nl]
+	nt.acnt = nt.acnt[:nl]
+	for ci, li := range nt.clinks {
+		nt.resid[ci] = nt.capBns
+		nt.acnt[ci] = nt.nf[li]
+	}
+
+	unfrozen := len(nt.cflows)
+	for unfrozen > 0 {
+		best := -1
+		var bs float64
+		for ci := range nt.clinks {
+			if nt.acnt[ci] <= 0 {
+				continue
+			}
+			s := nt.resid[ci] / float64(nt.acnt[ci])
+			if best < 0 || s < bs {
+				best, bs = ci, s
+			}
+		}
+		if best < 0 {
+			// Defensive: every remaining flow's links are exhausted
+			// (cannot happen — each unfrozen flow keeps its links'
+			// counts positive). Freeze at full rate and stop.
+			for _, f := range nt.cflows {
+				if !f.frozen {
+					f.frozen = true
+					nt.setRate(f, nt.capBns, now)
+				}
+			}
+			break
+		}
+		li := nt.clinks[best]
+		for ref := nt.head[li]; ref >= 0; {
+			f := nt.flows[ref>>slotBits]
+			ref = f.next[ref&(1<<slotBits-1)]
+			if f.frozen {
+				continue
+			}
+			f.frozen = true
+			unfrozen--
+			nt.setRate(f, bs, now)
+			for _, lj := range f.links {
+				cj := nt.lslot[lj]
+				nt.resid[cj] -= bs
+				nt.acnt[cj]--
+			}
+		}
+	}
+}
+
+// setRate advances f's remaining bytes to now at the old rate, applies
+// the new rate, and reschedules the completion event if the rate moved.
+func (nt *Net) setRate(f *Flow, r float64, now sim.Time) {
+	if f.rate == r {
+		return
+	}
+	if f.rate > 0 {
+		f.remaining -= float64(now-f.updated) * f.rate
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	f.updated = now
+	nt.K.CancelRunner(f.ev)
+	f.rate = r
+	f.ev = nt.K.AfterRunnerRef(sim.Time(math.Ceil(f.remaining/r)), f)
+}
+
+// link inserts f's slot s at the head of link li's flow list.
+func (nt *Net) link(f *Flow, s int, li int32) {
+	old := nt.head[li]
+	ref := f.id<<slotBits | int32(s)
+	f.next = f.next[:cap(f.next)]
+	f.prev = f.prev[:cap(f.prev)]
+	f.next[s] = old
+	f.prev[s] = -2 - li
+	if old >= 0 {
+		g := nt.flows[old>>slotBits]
+		g.prev[old&(1<<slotBits-1)] = ref
+	}
+	nt.head[li] = ref
+	nt.nf[li]++
+}
+
+// unlink removes f's slot s from link li's flow list.
+func (nt *Net) unlink(f *Flow, s int, li int32) {
+	nx, pv := f.next[s], f.prev[s]
+	if pv <= -2 {
+		nt.head[-2-pv] = nx
+	} else {
+		g := nt.flows[pv>>slotBits]
+		g.next[pv&(1<<slotBits-1)] = nx
+	}
+	if nx >= 0 {
+		g := nt.flows[nx>>slotBits]
+		g.prev[nx&(1<<slotBits-1)] = pv
+	}
+	nt.nf[li]--
+}
+
+// getFlow takes a Flow from the pool, allocating route-sized slices on
+// first use.
+func (nt *Net) getFlow() *Flow {
+	if n := len(nt.freef); n > 0 {
+		id := nt.freef[n-1]
+		nt.freef = nt.freef[:n-1]
+		return nt.flows[id]
+	}
+	f := &Flow{
+		nt:    nt,
+		id:    int32(len(nt.flows)),
+		links: make([]int32, 0, nt.maxRoute),
+		next:  make([]int32, nt.maxRoute),
+		prev:  make([]int32, nt.maxRoute),
+	}
+	nt.flows = append(nt.flows, f)
+	return f
+}
+
+// putFlow recycles a completed flow.
+func (nt *Net) putFlow(f *Flow) {
+	f.h = nil
+	f.ev = sim.EventRef{}
+	nt.freef = append(nt.freef, f.id)
+}

@@ -1,0 +1,52 @@
+package flow
+
+import "abred/internal/sim"
+
+// Spinner models interruptible busy-spins on flow-machine host clocks —
+// the flow image of the packet engine's Proc.SpinInterruptible. A spin
+// of budget b started at t ends at t+b plus whatever interrupt-handler
+// time accrued on the rank's Intr ledger while it ran: the handler work
+// displaces the spin's useful cycles exactly as a real signal handler
+// displaces a busy loop. Drivers (bench, workload) start spins and get
+// a callback when each settles, along with the interrupt time absorbed.
+type Spinner struct {
+	m  *Machine
+	st []spinState
+
+	// Done receives the settled spin: rank, settle time, and the
+	// interrupt-handler time that landed inside the spin.
+	Done func(r int, t, intr sim.Time)
+}
+
+type spinState struct {
+	start    sim.Time
+	budget   sim.Time
+	intrMark sim.Time
+}
+
+// NewSpinner returns a spinner over n ranks of machine m.
+func NewSpinner(m *Machine, n int, done func(r int, t, intr sim.Time)) *Spinner {
+	return &Spinner{m: m, st: make([]spinState, n), Done: done}
+}
+
+// Start begins a spin on rank r at host time t for the given budget.
+func (s *Spinner) Start(r int, t, budget sim.Time) {
+	s.st[r] = spinState{start: t, budget: budget, intrMark: s.m.Intr[r]}
+	s.m.HostRun(r, t, 0)
+	s.m.WakeAt(t+budget, s, uint64(r))
+}
+
+// FlowEvent is the spin-end check: if handler time accrued since the
+// spin began, the end moves correspondingly later — re-arm at the
+// extended end until it settles.
+func (s *Spinner) FlowEvent(tag uint64, at sim.Time) {
+	r := int(tag)
+	st := &s.st[r]
+	want := st.start + st.budget + (s.m.Intr[r] - st.intrMark)
+	if want > at {
+		s.m.WakeAt(want, s, tag)
+		return
+	}
+	s.m.HostRun(r, at, 0)
+	s.Done(r, at, s.m.Intr[r]-st.intrMark)
+}

@@ -86,6 +86,66 @@ func TestStdLargeMean(t *testing.T) {
 	}
 }
 
+// TestWelfordConsistency cross-checks the one-pass Welford recurrence
+// against a two-pass reference (mean first, then centered squared
+// deviations) on arbitrary samples, and pins the percentile fields to
+// their nearest-rank definition: each Pq is a member of the sample, and
+// at least ⌈q·N⌉ sample points lie at or below it.
+func TestWelfordConsistency(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]time.Duration, len(raw))
+		member := make(map[time.Duration]bool, len(raw))
+		var sum float64
+		for i, v := range raw {
+			xs[i] = time.Duration(v)
+			member[xs[i]] = true
+			sum += float64(v)
+		}
+		s := Summarize(xs)
+		mean := sum / float64(len(xs))
+		var m2 float64
+		for _, x := range xs {
+			d := float64(x) - mean
+			m2 += d * d
+		}
+		std := math.Sqrt(m2 / float64(len(xs)))
+		if math.Abs(float64(s.Mean)-mean) > 1 {
+			t.Logf("mean: one-pass %v, two-pass %.2f", s.Mean, mean)
+			return false
+		}
+		if math.Abs(float64(s.Std)-std) > 1+1e-9*std {
+			t.Logf("std: one-pass %v, two-pass %.2f", s.Std, std)
+			return false
+		}
+		for _, pq := range []struct {
+			q float64
+			v time.Duration
+		}{{0.50, s.P50}, {0.95, s.P95}, {0.99, s.P99}} {
+			if !member[pq.v] {
+				t.Logf("P%.0f = %v is not a sample member", pq.q*100, pq.v)
+				return false
+			}
+			atOrBelow := 0
+			for _, x := range xs {
+				if x <= pq.v {
+					atOrBelow++
+				}
+			}
+			if atOrBelow < int(math.Ceil(pq.q*float64(len(xs)))) {
+				t.Logf("P%.0f = %v covers %d/%d", pq.q*100, pq.v, atOrBelow, len(xs))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestMicros(t *testing.T) {
 	if got := Micros(1500 * time.Nanosecond); got != "1.5" {
 		t.Errorf("Micros = %q", got)

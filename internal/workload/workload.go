@@ -64,6 +64,10 @@ type Config struct {
 	Seed        int64
 	Topo        topo.Spec // interconnect; zero value = single crossbar
 	LPs         int       // parallel logical processes (see cluster.Config.LPs)
+
+	// Engine selects the simulation engine (cluster.Config.Engine). The
+	// flow engine models the default and app-bypass styles only.
+	Engine cluster.Engine
 }
 
 func (c *Config) defaults() {
@@ -103,6 +107,9 @@ func Run(cfg Config, style Style) Result {
 	size := len(cfg.Specs)
 	if size < 2 {
 		panic("workload: need at least two ranks")
+	}
+	if cfg.Engine == cluster.EngineFlow {
+		return flowRun(cfg, style)
 	}
 	cl := cluster.New(cluster.Config{Specs: cfg.Specs, Seed: cfg.Seed,
 		Topo: cfg.Topo, LPs: cfg.LPs})
