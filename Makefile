@@ -22,7 +22,9 @@ test:
 # recorded pre-overhaul baselines) plus the topology table in
 # BENCH_kernel.json. Both commands draw clusters from the reuse pool
 # (-reuse, on by default). -engine flow adds the flow-engine scaling
-# grid (65536–1048576 nodes, recorded as flow_sweep).
+# grid (65536–1048576 nodes, recorded as flow_sweep); -jobs adds the
+# multi-tenant sweep (concurrent jobs × oversubscription × placement,
+# recorded as tenancy_sweep).
 .PHONY: bench
 bench:
 	go run ./cmd/abbench -fig all -ablations -parallel 0 -sweepjson BENCH_sweep.json
@@ -30,6 +32,7 @@ bench:
 		-toposizes 1024,2048,4096,8192,16384 -topoiters 6 \
 		-pdessize 16384 -pdeslps 1,2,4 -pdesiters 6 \
 		-engine flow -flowsizes 65536,262144,1048576 -flowiters 3 \
+		-jobs 4,8,16 -oversub 1,8 -place random,greedy \
 		-csv -benchjson BENCH_kernel.json
 
 # Profile the scaling sweep: CPU and heap profiles of the standard grid,

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	abbench [-fig 6|7|8|9|10|loss|topo|all] [-ablations] [-iters N] [-seed N]
+//	abbench [-fig 6|7|8|9|10|loss|topo|tenancy|all] [-ablations] [-iters N] [-seed N]
 //	        [-loss P] [-faultseed N] [-topo SPEC] [-parallel N] [-reuse=bool]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-csv] [-sweepjson FILE]
 //
@@ -23,6 +23,11 @@
 // fault stream (same seed, same drops — independent of -seed). -fig
 // loss runs the ab-vs-nab loss sweep over the paper's 0.1–5% range
 // instead of a uniform rate.
+//
+// -fig tenancy runs the multi-tenant figure instead: 2–8 concurrent
+// jobs with Poisson arrivals on an oversubscribed fat tree, each job
+// reducing on its own sub-communicator, random scatter vs greedy
+// locality packing (a routed -topo picks the fabric).
 //
 // -topo SPEC (crossbar, fattree:K or leafspine:R) replaces the ideal
 // single crossbar with a routed multi-stage fabric for every figure;
@@ -78,7 +83,7 @@ func entry(p sweep.Perf) sweepEntry {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, loss, topo or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, loss, topo, tenancy or all")
 	ablations := flag.Bool("ablations", false, "also run the delay-heuristic and NIC-reduction studies")
 	iters := flag.Int("iters", 200, "benchmark iterations per data point")
 	seed := flag.Int64("seed", 20030701, "simulation seed (results are exactly reproducible per seed)")
@@ -162,6 +167,14 @@ func main() {
 			bench.Opts{Iters: *iters, Seed: *seed, Workers: *parallel, Pool: pool}))
 		ran++
 	}
+	if *fig == "tenancy" {
+		// Multi-tenant figure: concurrent jobs with Poisson arrivals on an
+		// oversubscribed fabric, random vs greedy placement. A routed
+		// -topo picks the fabric; the default crossbar is replaced by
+		// fattree:16 at 8:1 (a crossbar cannot be oversubscribed).
+		emit(bench.TenancyFigure(o))
+		ran++
+	}
 	if *fig == "topo" {
 		// The sweep sets its own per-job topologies (crossbar baseline in
 		// half its cells), so a routed -topo would be contradictory here;
@@ -178,7 +191,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "abbench: unknown figure %q (want 6, 7, 8, 9, 10, loss, topo or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "abbench: unknown figure %q (want 6, 7, 8, 9, 10, loss, topo, tenancy or all)\n", *fig)
 		os.Exit(2)
 	}
 

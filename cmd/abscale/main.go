@@ -15,6 +15,8 @@
 //	        [-toposizes 1024,...,16384] [-topoiters N] [-topo SPEC]
 //	        [-lps N] [-pdessize N] [-pdeslps 1,2,4] [-pdesiters N]
 //	        [-engine packet|flow] [-flowsizes 65536,...,1048576] [-flowiters N]
+//	        [-jobs 4,8,16] [-oversub 1,4] [-place random,greedy]
+//	        [-tenancynodes N] [-tenancyiters N] [-tenancycount N]
 //	        [-seed N] [-skew D] [-loss P] [-faultseed N] [-parallel N]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-csv] [-benchjson FILE]
 //
@@ -44,6 +46,15 @@
 // -benchjson with per-size wall/heap/events columns. The packet-engine
 // sweeps above still run and keep their baselines comparable.
 //
+// -jobs enables the multi-tenant sweep: each listed job count is run on
+// a -tenancynodes cluster with the -topo fabric at every -oversub
+// uplink taper and every -place placement policy, arrivals drawn from a
+// seeded Poisson process, each job reducing on its own sub-communicator
+// while sharing the fabric with its neighbours. The table reports
+// per-job completion-time percentiles with 95% confidence half-widths
+// and the AB-vs-binomial reduction-CPU advantage; -benchjson records it
+// as tenancy_sweep.
+//
 // -benchjson records the kernel's execution metrics —
 // events/sec, allocs/event and peak heap for each sweep, plus the fixed
 // 32-node kernel microbenchmark, the standard grid's pre-reuse baseline
@@ -64,9 +75,12 @@ import (
 	"abred/internal/bench"
 	"abred/internal/cluster"
 	"abred/internal/fault"
+	"abred/internal/model"
 	"abred/internal/prof"
+	"abred/internal/sim"
 	"abred/internal/sweep"
 	"abred/internal/topo"
+	"abred/internal/workload"
 )
 
 // perfEntry is one sweep's execution record in -benchjson output.
@@ -136,6 +150,13 @@ func main() {
 	engineFlag := flag.String("engine", "packet", "simulation engine: packet (full fidelity) or flow (large-scale)")
 	flowSizes := flag.String("flowsizes", "65536,262144,1048576", "flow-engine grid node counts (\"\" skips it; -engine flow only)")
 	flowIters := flag.Int("flowiters", 3, "iterations per flow-engine data point")
+	jobsFlag := flag.String("jobs", "", "tenancy-sweep concurrent-job counts (\"\" skips the multi-tenant sweep)")
+	oversubFlag := flag.String("oversub", "1,4", "tenancy-sweep oversubscription ratios applied to the -topo fabric")
+	placeFlag := flag.String("place", "random,greedy", "tenancy-sweep placement policies (comma list of random|greedy|genetic)")
+	tenancyNodes := flag.Int("tenancynodes", 64, "tenancy-sweep cluster size")
+	tenancyIters := flag.Int("tenancyiters", 8, "iterations per tenant job in the tenancy sweep")
+	tenancyCount := flag.Int("tenancycount", 256, "message elements per tenant reduction (large enough to contend on uplinks)")
+	tenancyArrival := flag.Duration("tenancyarrival", 50*time.Microsecond, "mean tenant inter-arrival gap (Poisson)")
 	reuse := flag.Bool("reuse", true, "reuse built clusters across grid cells (pool + Reset)")
 	seed := flag.Int64("seed", 20030701, "simulation seed")
 	skew := flag.Duration("skew", time.Millisecond, "maximum skew for the skewed sweep")
@@ -147,6 +168,19 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
 	benchJSON := flag.String("benchjson", "", "write kernel performance metrics here (empty to disable)")
 	flag.Parse()
+
+	// Validate the engine/kernel flag combination up front so a bad mix
+	// (e.g. -engine flow -lps 4: the flow engine is monolithic) is a
+	// flag-level error, not a panic deep inside the first sweep.
+	engine, err := cluster.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abscale: %v\n", err)
+		os.Exit(2)
+	}
+	if verr := (cluster.Config{Specs: model.Uniform(2), Engine: engine, LPs: *lps}).Validate(); verr != nil {
+		fmt.Fprintf(os.Stderr, "abscale: %v\n", verr)
+		os.Exit(2)
+	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -264,11 +298,6 @@ func main() {
 		fmt.Println()
 	}
 
-	engine, err := cluster.ParseEngine(*engineFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "abscale: %v\n", err)
-		os.Exit(2)
-	}
 	var flowDoc *flowSweepDoc
 	if engine == cluster.EngineFlow {
 		if fs := parseSizes("-flowsizes", *flowSizes); len(fs) > 0 {
@@ -292,12 +321,72 @@ func main() {
 		}
 	}
 
+	var tenancyDoc *tenancySweepDoc
+	if jobCounts := parseCounts("-jobs", *jobsFlag); len(jobCounts) > 0 {
+		ft, err := topo.ParseSpec(*topoFlag)
+		if err != nil || ft.Kind == topo.Crossbar {
+			fmt.Fprintf(os.Stderr, "abscale: the tenancy sweep needs a routed -topo, got %q\n", *topoFlag)
+			os.Exit(2)
+		}
+		oversubs := parseCounts("-oversub", *oversubFlag)
+		if len(oversubs) == 0 {
+			fmt.Fprintln(os.Stderr, "abscale: -oversub must name at least one ratio")
+			os.Exit(2)
+		}
+		var places []workload.Placement
+		var placeNames []string
+		for _, f := range strings.Split(*placeFlag, ",") {
+			p, err := workload.ParsePlacement(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "abscale: -place: %v\n", err)
+				os.Exit(2)
+			}
+			places = append(places, p)
+			placeNames = append(placeNames, p.Name())
+		}
+		points := bench.TenancySweep(model.PaperCluster(*tenancyNodes), ft, jobCounts, oversubs,
+			places, sim.Time(*tenancyArrival), *tenancyIters, *tenancyCount, *seed, *parallel)
+		tenancyDoc = &tenancySweepDoc{Fabric: ft.String(), Nodes: *tenancyNodes,
+			Iters: *tenancyIters, Elements: *tenancyCount, Arrival: tenancyArrival.String(),
+			JobCounts: jobCounts, Oversubs: oversubs, Places: placeNames, Points: points}
+		fmt.Printf("Multi-tenant sweep — %d nodes on %s, %d iters/job, %d elements\n",
+			*tenancyNodes, ft, *tenancyIters, *tenancyCount)
+		fmt.Printf("%6s %8s %8s %12s %12s %12s %12s %12s %8s\n",
+			"jobs", "oversub", "place", "jct_p50_us", "jct_p95_us", "jct_ci95_us",
+			"nab_cpu_us", "ab_cpu_us", "factor")
+		for _, p := range points {
+			fmt.Printf("%6d %8d %8s %12.1f %12.1f %12.1f %12.3f %12.3f %8.2f\n",
+				p.Jobs, p.Oversub, p.Place, p.JCTp50US, p.JCTp95US, p.JCTCI95US,
+				p.NabCPUUS, p.AbCPUUS, p.Factor)
+		}
+		fmt.Println()
+	}
+
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, sizes, *iters, entries, topoDoc, pdesDoc, flowDoc); err != nil {
+		if err := writeBenchJSON(*benchJSON, sizes, *iters, entries, topoDoc, pdesDoc, flowDoc, tenancyDoc); err != nil {
 			fmt.Fprintf(os.Stderr, "abscale: %v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// parseCounts parses a comma-separated positive-integer list ("" =
+// empty) — job counts and oversubscription ratios, where 1 is a valid
+// entry so parseSizes' ≥ 2 floor doesn't apply.
+func parseCounts(flagName, v string) []int {
+	var out []int
+	if v == "" {
+		return nil
+	}
+	for _, f := range strings.Split(v, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "abscale: bad %s entry %q\n", flagName, f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 // parseLPs parses the -pdeslps list (entries ≥ 1; "1" is the
@@ -346,8 +435,8 @@ type pdesSweepDoc struct {
 	MaxSkew           string            `json:"max_skew"`
 	Elements          int               `json:"elements"`
 	Iters             int               `json:"iters"`
-	Cores             int               `json:"cores"`    // GOMAXPROCS — speedup ceiling context
-	NumCPU            int               `json:"num_cpu"`  // physical cores the OS reports
+	Cores             int               `json:"cores"`   // GOMAXPROCS — speedup ceiling context
+	NumCPU            int               `json:"num_cpu"` // physical cores the OS reports
 	Oversubscribed    bool              `json:"oversubscribed"`
 	SpeedupClaimValid bool              `json:"speedup_claim_valid"`
 	Note              string            `json:"note,omitempty"`
@@ -367,6 +456,22 @@ type flowSweepDoc struct {
 	Points   []bench.FlowPoint `json:"points"`
 }
 
+// tenancySweepDoc is the multi-tenant sweep's record in -benchjson
+// output (-jobs): per-(job count, oversubscription, placement) JCT
+// percentiles with 95% confidence half-widths and the AB-vs-binomial
+// reduction-CPU advantage under shared-fabric contention.
+type tenancySweepDoc struct {
+	Fabric    string               `json:"fabric"`
+	Nodes     int                  `json:"nodes"`
+	Iters     int                  `json:"iters"`
+	Elements  int                  `json:"elements"`
+	Arrival   string               `json:"mean_arrival"`
+	JobCounts []int                `json:"job_counts"`
+	Oversubs  []int                `json:"oversub_ratios"`
+	Places    []string             `json:"placements"`
+	Points    []bench.TenancyPoint `json:"points"`
+}
+
 // sameSizes reports whether two size grids are identical.
 func sameSizes(a, b []int) bool {
 	if len(a) != len(b) {
@@ -383,7 +488,7 @@ func sameSizes(a, b []int) bool {
 // writeBenchJSON records the scaling sweeps' execution metrics plus the
 // fixed kernel microbenchmark, side by side with the recorded
 // pre-overhaul kernel baseline and the pre-reuse sweep baseline.
-func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, topoDoc *topoSweepDoc, pdesDoc *pdesSweepDoc, flowDoc *flowSweepDoc) error {
+func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, topoDoc *topoSweepDoc, pdesDoc *pdesSweepDoc, flowDoc *flowSweepDoc, tenancyDoc *tenancySweepDoc) error {
 	micro := bench.KernelMicrobench(bench.AppBypass, 50, 20030701)
 	microNab := bench.KernelMicrobench(bench.NonAppBypass, 50, 20030701)
 	doc := struct {
@@ -413,13 +518,15 @@ func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, to
 		SweepWallSpeedup    float64 `json:"sweep_wall_speedup_vs_baseline,omitempty"`
 		SweepAllocReduction float64 `json:"sweep_alloc_reduction_vs_baseline,omitempty"`
 
-		ScalingPerf []perfEntry   `json:"scaling_sweeps"`
-		TopoSweep   *topoSweepDoc `json:"topo_sweep,omitempty"`
-		PDESSweep   *pdesSweepDoc `json:"pdes_sweep,omitempty"`
-		FlowSweep   *flowSweepDoc `json:"flow_sweep,omitempty"`
+		ScalingPerf  []perfEntry      `json:"scaling_sweeps"`
+		TopoSweep    *topoSweepDoc    `json:"topo_sweep,omitempty"`
+		PDESSweep    *pdesSweepDoc    `json:"pdes_sweep,omitempty"`
+		FlowSweep    *flowSweepDoc    `json:"flow_sweep,omitempty"`
+		TenancySweep *tenancySweepDoc `json:"tenancy_sweep,omitempty"`
 	}{Workload: "32-node Fig. 6 CPU-utilization workload (count=4, skew=1ms, iters=50, seed=20030701)",
 		Sizes: sizes, Iters: iters, Micro: micro, MicroNab: microNab,
-		ScalingPerf: entries, TopoSweep: topoDoc, PDESSweep: pdesDoc, FlowSweep: flowDoc}
+		ScalingPerf: entries, TopoSweep: topoDoc, PDESSweep: pdesDoc, FlowSweep: flowDoc,
+		TenancySweep: tenancyDoc}
 	doc.Baseline.EventsPerSec = bench.BaselineEventsPerSec
 	doc.Baseline.AllocsPerEvent = bench.BaselineAllocsPerEvent
 	if doc.Baseline.EventsPerSec > 0 {

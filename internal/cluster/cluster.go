@@ -105,6 +105,24 @@ type Config struct {
 	LPs int
 }
 
+// Validate checks a Config for construction-time contradictions,
+// returning an error instead of the panic New raises. Callers holding
+// flag-level input (abscale, abbench) run it first so a bad combination
+// — the flow engine with a partitioned run, an oversubscribed crossbar
+// — surfaces as a usage error, not a stack trace.
+func (cfg Config) Validate() error {
+	if len(cfg.Specs) == 0 {
+		return fmt.Errorf("cluster: no node specs")
+	}
+	if cfg.Engine == EngineFlow && normLPs(cfg.LPs) > 1 {
+		return fmt.Errorf("cluster: the flow engine is monolithic; -lps %d requires the packet engine", cfg.LPs)
+	}
+	if err := cfg.Topo.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
 // normLPs normalizes a requested LP count: 0 and 1 both mean monolithic.
 func normLPs(n int) int {
 	if n < 1 {
@@ -143,8 +161,8 @@ func packetPoolCap(n int) int {
 // derived cost table, so construction cost and footprint scale with the
 // number of distinct node classes, not with raw node count.
 func New(cfg Config) *Cluster {
-	if len(cfg.Specs) == 0 {
-		panic("cluster: no node specs")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	if cfg.Costs == (model.Costs{}) {
 		cfg.Costs = model.DefaultCosts()
@@ -266,7 +284,7 @@ func (c *Cluster) Reset(cfg Config) {
 	if cfg.Costs != c.Costs {
 		panic("cluster: Reset with different costs")
 	}
-	if cfg.Topo != c.Topo.Spec() {
+	if cfg.Topo.Norm() != c.Topo.Spec() {
 		panic(fmt.Sprintf("cluster: Reset with topology %v on a %v cluster",
 			cfg.Topo, c.Topo.Spec()))
 	}

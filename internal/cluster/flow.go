@@ -75,7 +75,7 @@ func (c *Cluster) resetFlow(cfg Config) {
 	if cfg.Costs != c.Costs {
 		panic("cluster: Reset with different costs")
 	}
-	if cfg.Topo != c.Topo.Spec() {
+	if cfg.Topo.Norm() != c.Topo.Spec() {
 		panic(fmt.Sprintf("cluster: Reset with topology %v on a %v cluster", cfg.Topo, c.Topo.Spec()))
 	}
 	if normLPs(cfg.LPs) > 1 {

@@ -66,8 +66,10 @@ func hashSpecs(specs []model.NodeSpec) uint64 {
 }
 
 func keyOf(cfg Config) poolKey {
+	// Topo is keyed normalized so equivalent spellings of one fabric
+	// (Oversub 0 vs 1) land in the same bucket.
 	return poolKey{n: len(cfg.Specs), specs: hashSpecs(cfg.Specs),
-		costs: cfg.Costs, topo: cfg.Topo, lps: normLPs(cfg.LPs),
+		costs: cfg.Costs, topo: cfg.Topo.Norm(), lps: normLPs(cfg.LPs),
 		engine: cfg.Engine}
 }
 
@@ -76,7 +78,7 @@ func (c *Cluster) matches(cfg Config) bool {
 	if cfg.Engine != c.Engine {
 		return false
 	}
-	if len(cfg.Specs) != c.Size() || cfg.Costs != c.Costs || cfg.Topo != c.Topo.Spec() {
+	if len(cfg.Specs) != c.Size() || cfg.Costs != c.Costs || cfg.Topo.Norm() != c.Topo.Spec() {
 		return false
 	}
 	if normLPs(cfg.LPs) != c.reqLPs {

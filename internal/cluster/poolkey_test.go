@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"abred/internal/fault"
+	"abred/internal/model"
+	"abred/internal/topo"
+)
+
+// Every Config field is either a construction-time shape property that
+// MUST change the pool key (a stale key silently reuses a cluster built
+// for a different machine), or a run-time property Reset re-applies and
+// the key MUST ignore. A new field lands in neither set and fails the
+// test until it is classified here AND — if shape — wired into keyOf.
+var (
+	shapeFields = map[string]Config{
+		"Specs":  {Specs: model.Uniform(5)},
+		"Costs":  {Costs: func() model.Costs { c := model.DefaultCosts(); c.HostSendOvh += 1; return c }()},
+		"Topo":   {Topo: topo.Spec{Kind: topo.FatTree, K: 4}},
+		"Engine": {Engine: EngineFlow},
+		"LPs":    {LPs: 4},
+	}
+	runtimeFields = map[string]Config{
+		"Seed":  {Seed: 42},
+		"Fault": {Fault: fault.Config{Seed: 7, Rule: fault.Rule{Drop: 1e-3}}},
+	}
+)
+
+// TestPoolKeyCoversEveryConfigField is the staleness guard: reflection
+// walks Config so adding a field (tenancy, oversubscription, whatever
+// comes next) breaks the build here until the pool key is updated.
+func TestPoolKeyCoversEveryConfigField(t *testing.T) {
+	base := Config{Specs: model.Uniform(4)}
+	baseKey := keyOf(base)
+
+	typ := reflect.TypeOf(Config{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		mutated, isShape := shapeFields[name]
+		if !isShape {
+			if _, isRuntime := runtimeFields[name]; !isRuntime {
+				t.Fatalf("Config field %q is not classified as shape or runtime; "+
+					"decide whether the pool key must include it and add it to the proper set", name)
+			}
+			mutated = runtimeFields[name]
+		}
+
+		// Overlay the mutated field onto base via reflection so each
+		// probe differs from base in exactly one field.
+		cfg := base
+		fv := reflect.ValueOf(&cfg).Elem().FieldByName(name)
+		mv := reflect.ValueOf(mutated).FieldByName(name)
+		if reflect.DeepEqual(fv.Interface(), mv.Interface()) {
+			t.Fatalf("probe for field %q equals the base value; make it distinct", name)
+		}
+		fv.Set(mv)
+
+		changed := keyOf(cfg) != baseKey
+		if isShape && !changed {
+			t.Errorf("shape field %q does not participate in the pool key: "+
+				"a warm pool would reuse a cluster built for a different %s", name, name)
+		}
+		if !isShape && changed {
+			t.Errorf("runtime field %q perturbs the pool key: "+
+				"Reset re-applies it, keying on it defeats warm reuse", name)
+		}
+	}
+}
+
+// TestPoolKeyNormalizesTopo pins the Oversub-spelling equivalence: o=0
+// and o=1 describe the same fabric and must share a pool bucket, while
+// a real taper is a different machine.
+func TestPoolKeyNormalizesTopo(t *testing.T) {
+	specs := model.Uniform(16)
+	// Costs set explicitly: matches is exercised directly, below the
+	// layer (Pool.Get) that defaults them.
+	o0 := Config{Specs: specs, Costs: model.DefaultCosts(),
+		Topo: topo.Spec{Kind: topo.FatTree, K: 4}}
+	o1 := o0
+	o1.Topo.Oversub = 1
+	o4 := o0
+	o4.Topo.Oversub = 4
+	if keyOf(o0) != keyOf(o1) {
+		t.Error("Oversub 0 and 1 spell the same fabric but key differently")
+	}
+	if keyOf(o0) == keyOf(o4) {
+		t.Error("a 4:1 taper keys like full bisection")
+	}
+
+	// End to end: a cluster built with one spelling must match (and be
+	// Reset by) the other.
+	c := New(o0)
+	defer c.Close()
+	if !c.matches(o1) {
+		t.Error("o=1 config does not match an o=0 cluster")
+	}
+	if c.matches(o4) {
+		t.Error("o=4 config matches a full-bisection cluster")
+	}
+	c.Reset(o1) // must not panic
+}
+
+// TestValidate pins the flag-level error paths New would otherwise
+// surface as panics mid-construction.
+func TestValidate(t *testing.T) {
+	if err := (Config{Specs: model.Uniform(4)}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("empty specs validated")
+	}
+	if err := (Config{Specs: model.Uniform(4), Engine: EngineFlow, LPs: 4}).Validate(); err == nil {
+		t.Error("flow engine with LPs 4 validated")
+	}
+	bad := Config{Specs: model.Uniform(4), Topo: topo.Spec{Kind: topo.Crossbar, Oversub: 4}}
+	if err := bad.Validate(); err == nil {
+		t.Error("oversubscribed crossbar validated")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New on an invalid config did not panic")
+		}
+	}()
+	New(Config{Specs: model.Uniform(4), Engine: EngineFlow, LPs: 4})
+}

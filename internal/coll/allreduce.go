@@ -34,11 +34,11 @@ func Scan(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.Datatype, op m
 	copy(recvbuf[:n], sendbuf[:n])
 	if rank > 0 {
 		tmp := make([]byte, n)
-		pr.Recv(ctx, rank-1, tag, tmp)
+		pr.Recv(ctx, c.World(rank-1), tag, tmp)
 		pr.P.Spin(pr.CM.ReduceOp(count, dt.Size()))
 		mpi.Apply(op, dt, recvbuf[:n], tmp, count)
 	}
 	if rank < size-1 {
-		pr.Send(mpi.SendArgs{Dst: rank + 1, Ctx: ctx, Tag: tag, Data: recvbuf[:n]})
+		pr.Send(mpi.SendArgs{Dst: c.World(rank + 1), Ctx: ctx, Tag: tag, Data: recvbuf[:n]})
 	}
 }

@@ -25,13 +25,13 @@ func Alltoall(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.Datatype) 
 			copy(recvbuf[rank*n:(rank+1)*n], sendbuf[rank*n:(rank+1)*n])
 			continue
 		}
-		reqs = append(reqs, pr.Irecv(ctx, peer, tag, recvbuf[peer*n:(peer+1)*n]))
+		reqs = append(reqs, pr.Irecv(ctx, c.World(peer), tag, recvbuf[peer*n:(peer+1)*n]))
 	}
 	for peer := 0; peer < size; peer++ {
 		if peer == rank {
 			continue
 		}
-		reqs = append(reqs, pr.Isend(mpi.SendArgs{Dst: peer, Ctx: ctx, Tag: tag, Data: sendbuf[peer*n : (peer+1)*n]}))
+		reqs = append(reqs, pr.Isend(mpi.SendArgs{Dst: c.World(peer), Ctx: ctx, Tag: tag, Data: sendbuf[peer*n : (peer+1)*n]}))
 	}
 	mpi.WaitAll(reqs...)
 }

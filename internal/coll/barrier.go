@@ -34,11 +34,11 @@ func Barrier(c *mpi.Comm) {
 		if child < 0 {
 			break
 		}
-		pr.Recv(ctx, child, upTag, token)
+		pr.Recv(ctx, c.World(child), upTag, token)
 	}
 	if parent >= 0 {
-		pr.Send(mpi.SendArgs{Dst: parent, Ctx: ctx, Tag: upTag, Data: token})
-		pr.Recv(ctx, parent, downTag, token)
+		pr.Send(mpi.SendArgs{Dst: c.World(parent), Ctx: ctx, Tag: upTag, Data: token})
+		pr.Recv(ctx, c.World(parent), downTag, token)
 	}
 	// Release phase: forward the release down the subtree.
 	for it := Kids(rank, 0, size); ; {
@@ -46,7 +46,7 @@ func Barrier(c *mpi.Comm) {
 		if child < 0 {
 			break
 		}
-		pr.Send(mpi.SendArgs{Dst: child, Ctx: ctx, Tag: downTag, Data: token})
+		pr.Send(mpi.SendArgs{Dst: c.World(child), Ctx: ctx, Tag: downTag, Data: token})
 	}
 	pr.PutBuf(token) // 1-byte sends are eager: copied out synchronously
 }
@@ -71,8 +71,8 @@ func BarrierDissemination(c *mpi.Comm) {
 		tag := seqTag(seq*64 + uint64(k))
 		to := (rank + dist) % size
 		from := (rank - dist + size) % size
-		sreq := pr.Isend(mpi.SendArgs{Dst: to, Ctx: ctx, Tag: tag, Data: token[:]})
-		pr.Recv(ctx, from, tag, buf[:])
+		sreq := pr.Isend(mpi.SendArgs{Dst: c.World(to), Ctx: ctx, Tag: tag, Data: token[:]})
+		pr.Recv(ctx, c.World(from), tag, buf[:])
 		sreq.Wait()
 	}
 }

@@ -35,7 +35,7 @@ func BcastWithSeq(c *mpi.Comm, seq uint64, buf []byte, count int, dt mpi.Datatyp
 	for mask < size {
 		if rel&mask != 0 {
 			parent := ((rel &^ mask) + root) % size
-			pr.Recv(ctx, parent, tag, buf[:n])
+			pr.Recv(ctx, c.World(parent), tag, buf[:n])
 			break
 		}
 		mask <<= 1
@@ -49,8 +49,8 @@ func BcastWithSeq(c *mpi.Comm, seq uint64, buf []byte, count int, dt mpi.Datatyp
 		if rel+mask < size {
 			child := (rel + mask + root) % size
 			pr.Send(mpi.SendArgs{
-				Dst: child, Ctx: ctx, Tag: tag, Data: buf[:n],
-				Collective: collective, Root: int32(root), Seq: seq,
+				Dst: c.World(child), Ctx: ctx, Tag: tag, Data: buf[:n],
+				Collective: collective, Root: int32(c.World(root)), Seq: seq,
 			})
 		}
 	}

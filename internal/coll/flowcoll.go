@@ -23,10 +23,10 @@ import (
 // Message kinds carried in flow tags. fkSignal is not a message: it is
 // the WakeAt tag for a coalesced NIC signal handler.
 const (
-	fkReduce uint8 = iota // reduction contribution to the parent
-	fkBarUp               // barrier combine token
-	fkBarDown             // barrier release token
-	fkP2P                 // point-to-point payload (workload halo)
+	fkReduce  uint8 = iota // reduction contribution to the parent
+	fkBarUp                // barrier combine token
+	fkBarDown              // barrier release token
+	fkP2P                  // point-to-point payload (workload halo)
 	fkSignal
 )
 
@@ -60,7 +60,7 @@ func ptag(kind uint8, coll bool, dst, src int, seq uint64) uint64 {
 // queue.
 type fpkt struct {
 	kind uint8
-	coll bool  // gm Collective type: eligible for the AB hook and signals
+	coll bool // gm Collective type: eligible for the AB hook and signals
 	src  int32
 	size int32
 	seq  uint64

@@ -20,7 +20,7 @@ func Gather(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.Datatype, ro
 	rank, size := c.Rank(), c.Size()
 
 	if rank != root {
-		pr.Send(mpi.SendArgs{Dst: root, Ctx: ctx, Tag: tag, Data: sendbuf[:n]})
+		pr.Send(mpi.SendArgs{Dst: c.World(root), Ctx: ctx, Tag: tag, Data: sendbuf[:n]})
 		return
 	}
 	if len(recvbuf) < n*size {
@@ -32,7 +32,7 @@ func Gather(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.Datatype, ro
 			copy(recvbuf[r*n:(r+1)*n], sendbuf[:n])
 			continue
 		}
-		reqs = append(reqs, pr.Irecv(ctx, r, tag, recvbuf[r*n:(r+1)*n]))
+		reqs = append(reqs, pr.Irecv(ctx, c.World(r), tag, recvbuf[r*n:(r+1)*n]))
 	}
 	mpi.WaitAll(reqs...)
 }
@@ -51,7 +51,7 @@ func Scatter(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.Datatype, r
 	rank, size := c.Rank(), c.Size()
 
 	if rank != root {
-		pr.Recv(ctx, root, tag, recvbuf[:n])
+		pr.Recv(ctx, c.World(root), tag, recvbuf[:n])
 		return
 	}
 	if len(sendbuf) < n*size {
@@ -63,7 +63,7 @@ func Scatter(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.Datatype, r
 			copy(recvbuf[:n], sendbuf[r*n:(r+1)*n])
 			continue
 		}
-		reqs = append(reqs, pr.Isend(mpi.SendArgs{Dst: r, Ctx: ctx, Tag: tag, Data: sendbuf[r*n : (r+1)*n]}))
+		reqs = append(reqs, pr.Isend(mpi.SendArgs{Dst: c.World(r), Ctx: ctx, Tag: tag, Data: sendbuf[r*n : (r+1)*n]}))
 	}
 	mpi.WaitAll(reqs...)
 }

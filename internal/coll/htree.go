@@ -176,8 +176,8 @@ func ReduceTreeOnKind(c *mpi.Comm, t *TopoTree, kind mpi.CtxKind, seq uint64, se
 			return
 		}
 		pr.Send(mpi.SendArgs{
-			Dst: parent, Ctx: ctx, Tag: tag, Data: sendbuf[:n],
-			Collective: collective, Root: int32(root), Seq: seq,
+			Dst: c.World(parent), Ctx: ctx, Tag: tag, Data: sendbuf[:n],
+			Collective: collective, Root: int32(c.World(root)), Seq: seq,
 		})
 		return
 	}
@@ -188,7 +188,7 @@ func ReduceTreeOnKind(c *mpi.Comm, t *TopoTree, kind mpi.CtxKind, seq uint64, se
 
 	tmp := pr.GetBuf(n)
 	for _, child := range t.kids[t.off[rank]:t.off[rank+1]] {
-		pr.Recv(ctx, int(child), tag, tmp)
+		pr.Recv(ctx, c.World(int(child)), tag, tmp)
 		pr.P.Spin(pr.CM.ReduceOp(count, dt.Size()))
 		mpi.Apply(op, dt, acc, tmp, count)
 	}
@@ -200,8 +200,8 @@ func ReduceTreeOnKind(c *mpi.Comm, t *TopoTree, kind mpi.CtxKind, seq uint64, se
 		return
 	}
 	pr.Send(mpi.SendArgs{
-		Dst: parent, Ctx: ctx, Tag: tag, Data: acc,
-		Collective: collective, Root: int32(root), Seq: seq,
+		Dst: c.World(parent), Ctx: ctx, Tag: tag, Data: acc,
+		Collective: collective, Root: int32(c.World(root)), Seq: seq,
 	})
 	if n <= pr.CM.C.EagerThreshold {
 		pr.PutBuf(acc)

@@ -39,9 +39,11 @@ func ReduceOnKind(c *mpi.Comm, kind mpi.CtxKind, seq uint64, sendbuf, recvbuf []
 			copy(recvbuf[:n], sendbuf[:n])
 			return
 		}
+		// Tree math stays in comm-local rank space; peers and the Root
+		// header are world-translated at the wire (identity on world).
 		pr.Send(mpi.SendArgs{
-			Dst: parent, Ctx: ctx, Tag: tag, Data: sendbuf[:n],
-			Collective: collective, Root: int32(root), Seq: seq,
+			Dst: c.World(parent), Ctx: ctx, Tag: tag, Data: sendbuf[:n],
+			Collective: collective, Root: int32(c.World(root)), Seq: seq,
 		})
 		return
 	}
@@ -59,7 +61,7 @@ func ReduceOnKind(c *mpi.Comm, kind mpi.CtxKind, seq uint64, sendbuf, recvbuf []
 		if child < 0 {
 			break
 		}
-		pr.Recv(ctx, child, tag, tmp)
+		pr.Recv(ctx, c.World(child), tag, tmp)
 		pr.P.Spin(pr.CM.ReduceOp(count, dt.Size()))
 		mpi.Apply(op, dt, acc, tmp, count)
 	}
@@ -71,8 +73,8 @@ func ReduceOnKind(c *mpi.Comm, kind mpi.CtxKind, seq uint64, sendbuf, recvbuf []
 		return
 	}
 	pr.Send(mpi.SendArgs{
-		Dst: parent, Ctx: ctx, Tag: tag, Data: acc,
-		Collective: collective, Root: int32(root), Seq: seq,
+		Dst: c.World(parent), Ctx: ctx, Tag: tag, Data: acc,
+		Collective: collective, Root: int32(c.World(root)), Seq: seq,
 	})
 	if n <= pr.CM.C.EagerThreshold {
 		// An eager send copied acc out synchronously; a rendezvous data

@@ -32,7 +32,13 @@ func (e *Engine) Reduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.
 	}
 
 	rank, size := c.Rank(), c.Size()
-	tree := e.treeFor(root, size)
+	// Topology-aware trees are keyed by world (root, size); on a
+	// sub-communicator a size collision would pick up the wrong shape,
+	// so sub-comms always use the flat binomial tree.
+	var tree *coll.TopoTree
+	if c.IsWorld() {
+		tree = e.treeFor(root, size)
+	}
 
 	if rank == root {
 		// The root must block until the reduction completes (the MPI
@@ -60,8 +66,8 @@ func (e *Engine) Reduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi.
 			parent = tree.Parent(rank)
 		}
 		pr.Send(mpi.SendArgs{
-			Dst: parent, Ctx: c.Ctx(mpi.CtxReduce), Tag: seqTag(seq), Data: sendbuf[:n],
-			Collective: true, Root: int32(root), Seq: seq,
+			Dst: c.World(parent), Ctx: c.Ctx(mpi.CtxReduce), Tag: seqTag(seq), Data: sendbuf[:n],
+			Collective: true, Root: int32(c.World(root)), Seq: seq,
 		})
 		return
 	}
@@ -97,16 +103,27 @@ func (e *Engine) beginInternal(c *mpi.Comm, kind mpi.CtxKind, seq uint64, sendbu
 	d.ctx = c.Ctx(kind)
 	d.seq = seq
 	d.tag = seqTag(seq)
-	d.root = root
-	// A topology-aware tree applies only to the blocking reduce context:
-	// the split-phase operations run their leaf/root sides on the flat
-	// shape, so their internal nodes must stay flat to match.
-	if t := e.treeFor(root, size); t != nil && kind == mpi.CtxReduce {
+	// The descriptor lives in world rank space: packets match on their
+	// world SrcRank and the upward send addresses a world rank, so root,
+	// parent and the pending list are all translated here (identity on
+	// the world communicator, where the tree math already is world-wide).
+	d.root = c.World(root)
+	// A topology-aware tree applies only to the blocking reduce context
+	// on the world communicator: the split-phase operations run their
+	// leaf/root sides on the flat shape, so their internal nodes must
+	// stay flat to match, and sub-comms always reduce over the flat tree.
+	if t := e.treeFor(root, size); t != nil && kind == mpi.CtxReduce && c.IsWorld() {
 		d.parent = t.Parent(rank)
 		d.pending = t.AppendChildren(d.pending[:0], rank)
 	} else {
 		d.parent = coll.Parent(rank, root, size)
 		d.pending = coll.AppendChildren(d.pending[:0], rank, root, size)
+	}
+	if d.parent >= 0 {
+		d.parent = c.World(d.parent)
+	}
+	for i, ch := range d.pending {
+		d.pending[i] = c.World(ch)
 	}
 	d.count = count
 	d.dt = dt

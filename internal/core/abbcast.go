@@ -120,6 +120,13 @@ func (e *Engine) ibcast(c *mpi.Comm, buf []byte, count int, dt mpi.Datatype, roo
 		coll.BcastWithSeq(c, seq, buf, count, dt, root, false)
 		return nil
 	}
+	if !c.IsWorld() {
+		// hookBcast forwards along the *world* tree, which is wrong for a
+		// subset of ranks. Sub-communicators take the default binomial
+		// broadcast; Collective stays false so the hook never sees it.
+		coll.BcastWithSeq(c, seq, buf, count, dt, root, false)
+		return nil
+	}
 
 	e.bcast.active = true
 	e.updateSignals()

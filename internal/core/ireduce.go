@@ -91,8 +91,8 @@ func (e *Engine) IReduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt mpi
 		e.Metrics.LeafReductions++
 		parent := coll.Parent(rank, root, size)
 		pr.Send(mpi.SendArgs{
-			Dst: parent, Ctx: c.Ctx(mpi.CtxIReduce), Tag: seqTag(seq), Data: sendbuf[:n],
-			Collective: true, Root: int32(root), Seq: seq,
+			Dst: c.World(parent), Ctx: c.Ctx(mpi.CtxIReduce), Tag: seqTag(seq), Data: sendbuf[:n],
+			Collective: true, Root: int32(c.World(root)), Seq: seq,
 		})
 		return &Request{e: e, done: true}
 	}

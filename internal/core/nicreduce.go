@@ -129,6 +129,12 @@ func (e *Engine) NICReduce(c *mpi.Comm, sendbuf, recvbuf []byte, count int, dt m
 	if c.Proc() != pr {
 		panic("core: communicator belongs to a different process")
 	}
+	if !c.IsWorld() {
+		// The control program derives its subtree from pr.Rank()/pr.Size()
+		// — world state the NIC can see. A sub-communicator would need its
+		// membership downloaded to the firmware; not modeled.
+		panic("core: NIC-based reduction requires the world communicator")
+	}
 	n := count * dt.Size()
 	if len(sendbuf) < n {
 		panic(fmt.Sprintf("core: sendbuf %d bytes < %d", len(sendbuf), n))

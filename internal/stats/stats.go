@@ -14,6 +14,12 @@ type Summary struct {
 	N                   int
 	Mean, Min, Max, Std time.Duration
 	P50, P95, P99       time.Duration
+
+	// CI95 is the half-width of the normal-approximation 95% confidence
+	// interval on the mean (1.96·σ/√n), the interval the benchmarking
+	// methodology of Hunold & Carpen-Amarie asks for in place of single
+	// walls. Zero for samples of fewer than two points.
+	CI95 time.Duration
 }
 
 // Summarize computes a Summary; it returns the zero value for an empty
@@ -44,6 +50,12 @@ func Summarize(xs []time.Duration) Summary {
 	variance := m2 / float64(len(xs))
 	if variance > 0 {
 		s.Std = time.Duration(math.Sqrt(variance))
+	}
+	if len(xs) > 1 && variance > 0 {
+		// Sample variance (n-1) for the interval: the population Std
+		// above stays byte-compatible with what earlier figures record.
+		sampleStd := math.Sqrt(m2 / float64(len(xs)-1))
+		s.CI95 = time.Duration(1.96 * sampleStd / math.Sqrt(float64(len(xs))))
 	}
 	sorted := append([]time.Duration(nil), xs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })

@@ -74,53 +74,104 @@ type Spec struct {
 	// switch (even, >= 4; m = K/2 per direction), for LeafSpine the
 	// hosts per leaf switch (>= 2; also the number of spines).
 	K int
+	// Oversub is the oversubscription ratio of the inter-switch tiers:
+	// each switch keeps 1/Oversub of its full-bisection up-links (never
+	// fewer than one), so a ratio of 4 means 4:1 — four hosts' worth of
+	// traffic funnel onto one up-link's worth of capacity, the tapered
+	// Clos every production datacenter runs. 0 and 1 both mean full
+	// bisection (the historical byte-identical fabric); Norm collapses
+	// them to one canonical value so pool keys and Reset checks treat
+	// them as the same shape. Meaningless on the crossbar (no
+	// inter-switch links), and rejected there when > 1.
+	Oversub int
 }
 
-// String renders the flag form: "crossbar", "fattree:16", "leafspine:8".
+// Norm returns the canonical form of the spec: Oversub 0 and 1 both
+// describe full bisection, so both normalize to 0 (keeping the zero
+// Spec the zero value). Every comparison that treats Spec as a shape
+// key (cluster pools, Reset checks) goes through Norm.
+func (s Spec) Norm() Spec {
+	if s.Oversub <= 1 {
+		s.Oversub = 0
+	}
+	return s
+}
+
+// String renders the flag form: "crossbar", "fattree:16",
+// "leafspine:8", with an ":oN" suffix on oversubscribed fabrics
+// ("fattree:16:o4" is a 4:1 tapered fat-tree).
 func (s Spec) String() string {
+	var b string
 	switch s.Kind {
 	case Crossbar:
 		return "crossbar"
 	case FatTree:
-		return "fattree:" + strconv.Itoa(s.K)
+		b = "fattree:" + strconv.Itoa(s.K)
 	case LeafSpine:
-		return "leafspine:" + strconv.Itoa(s.K)
+		b = "leafspine:" + strconv.Itoa(s.K)
+	default:
+		return "?"
 	}
-	return "?"
+	if s.Oversub > 1 {
+		b += ":o" + strconv.Itoa(s.Oversub)
+	}
+	return b
 }
 
 // ParseSpec parses the -topo flag syntax: "crossbar" (or ""),
-// "fattree:k" and "leafspine:r".
+// "fattree:k" and "leafspine:r", each optionally suffixed with an
+// oversubscription ratio as ":oN" ("fattree:16:o4").
 func ParseSpec(s string) (Spec, error) {
 	if s == "" || s == "crossbar" {
 		return Spec{}, nil
 	}
-	name, arg, ok := strings.Cut(s, ":")
+	name, rest, ok := strings.Cut(s, ":")
 	if !ok {
 		return Spec{}, fmt.Errorf("topo: %q: want crossbar, fattree:k or leafspine:r", s)
 	}
+	arg, osuf, hasO := strings.Cut(rest, ":")
 	k, err := strconv.Atoi(arg)
 	if err != nil {
 		return Spec{}, fmt.Errorf("topo: %q: bad parameter %q", s, arg)
 	}
+	oversub := 0
+	if hasO {
+		if !strings.HasPrefix(osuf, "o") {
+			return Spec{}, fmt.Errorf("topo: %q: bad oversubscription suffix %q (want oN)", s, osuf)
+		}
+		oversub, err = strconv.Atoi(osuf[1:])
+		if err != nil {
+			return Spec{}, fmt.Errorf("topo: %q: bad oversubscription ratio %q", s, osuf)
+		}
+	}
 	var spec Spec
 	switch name {
 	case "fattree":
-		spec = Spec{Kind: FatTree, K: k}
+		spec = Spec{Kind: FatTree, K: k, Oversub: oversub}
 	case "leafspine":
-		spec = Spec{Kind: LeafSpine, K: k}
+		spec = Spec{Kind: LeafSpine, K: k, Oversub: oversub}
 	default:
 		return Spec{}, fmt.Errorf("topo: unknown topology %q", name)
 	}
-	if err := spec.validate(); err != nil {
+	if err := spec.Validate(); err != nil {
 		return Spec{}, err
 	}
-	return spec, nil
+	return spec.Norm(), nil
 }
 
-func (s Spec) validate() error {
+// Validate reports whether the spec describes a buildable topology.
+// Exported so configuration layers (cluster.Config.Validate, flag
+// parsing) can reject a bad spec with an error instead of hitting
+// Build's panic.
+func (s Spec) Validate() error {
+	if s.Oversub < 0 {
+		return fmt.Errorf("topo: negative oversubscription ratio %d", s.Oversub)
+	}
 	switch s.Kind {
 	case Crossbar:
+		if s.Oversub > 1 {
+			return fmt.Errorf("topo: the crossbar has no inter-switch links to oversubscribe (ratio %d)", s.Oversub)
+		}
 		return nil
 	case FatTree:
 		if s.K < 4 || s.K%2 != 0 {
@@ -158,6 +209,15 @@ type Topology struct {
 	pow    []int // pow[l] = m^l, l in 0..levels
 	upBase []int // first up-link id of climb level l
 	dnBase []int // first down-link id of descent level l
+	// lcap[l] is the number of distinct up-links (and down-links) each
+	// subtree of pow[l+1] hosts keeps at climb level l: the full
+	// bisection pow[l+1] divided by the oversubscription ratio (floored,
+	// never below one). At ratio 1 this is exactly pow[l+1] and the link
+	// numbering is byte-identical to the pre-oversubscription scheme; at
+	// higher ratios the D-mod-k link choice is collapsed modulo lcap, so
+	// the same wire-speed links carry more flows and the per-port FIFO
+	// queues — not a slower wire — model the taper.
+	lcap   []int
 	nLinks int
 
 	// Per-destination routing tables, levels-1 entries per host:
@@ -176,9 +236,10 @@ func Build(spec Spec, n int) *Topology {
 	if n < 1 {
 		panic(fmt.Sprintf("topo: %d hosts", n))
 	}
-	if err := spec.validate(); err != nil {
+	if err := spec.Validate(); err != nil {
 		panic(err.Error())
 	}
+	spec = spec.Norm()
 	t := &Topology{spec: spec, n: n, levels: 1}
 	switch spec.Kind {
 	case Crossbar:
@@ -203,13 +264,24 @@ func Build(spec Spec, n int) *Topology {
 	for l := 1; l <= t.levels; l++ {
 		t.pow[l] = t.pow[l-1] * t.m
 	}
+	oversub := spec.Oversub
+	if oversub < 1 {
+		oversub = 1
+	}
 	t.upBase = make([]int, t.levels-1)
 	t.dnBase = make([]int, t.levels-1)
+	t.lcap = make([]int, t.levels-1)
 	for l := 0; l < t.levels-1; l++ {
 		// Level-l switches: one group of pow[l] parallel switches per
-		// subtree of pow[l+1] hosts, m uplinks each (and symmetrically
-		// m downlinks from the tier above).
-		cnt := ((n + t.pow[l+1] - 1) / t.pow[l+1]) * t.pow[l] * t.m
+		// subtree of pow[l+1] hosts, pow[l+1] = pow[l]*m uplinks between
+		// them at full bisection (and symmetrically as many downlinks
+		// from the tier above), tapered by the oversubscription ratio.
+		lc := t.pow[l+1] / oversub
+		if lc < 1 {
+			lc = 1
+		}
+		t.lcap[l] = lc
+		cnt := ((n + t.pow[l+1] - 1) / t.pow[l+1]) * lc
 		t.upBase[l] = t.nLinks
 		t.nLinks += cnt
 		t.dnBase[l] = t.nLinks
@@ -221,11 +293,23 @@ func Build(spec Spec, n int) *Topology {
 		for l := 0; l < t.levels-1; l++ {
 			p := dst % t.pow[l]         // parallel switch index on dst's path
 			r := (dst / t.pow[l]) % t.m // D-mod-k: digit l picks the parallel tier
-			t.upOff[dst*(t.levels-1)+l] = int32(p*t.m + r)
-			t.dnLink[dst*(t.levels-1)+l] = int32(t.dnBase[l] + ((dst/t.pow[l+1])*t.pow[l]+p)*t.m + r)
+			// Full-bisection port choice p*m+r, collapsed onto the
+			// tapered link set; at ratio 1 the modulus is pow[l+1] and
+			// the id is exactly the historical p*m+r.
+			t.upOff[dst*(t.levels-1)+l] = int32((p*t.m + r) % t.lcap[l])
+			t.dnLink[dst*(t.levels-1)+l] = int32(t.dnBase[l] + (dst/t.pow[l+1])*t.lcap[l] + (p*t.m+r)%t.lcap[l])
 		}
 	}
 	return t
+}
+
+// Oversub returns the oversubscription ratio the topology was built
+// with (1 = full bisection).
+func (t *Topology) Oversub() int {
+	if t.spec.Oversub > 1 {
+		return t.spec.Oversub
+	}
+	return 1
 }
 
 // Nodes returns the host count.
@@ -343,7 +427,7 @@ func (t *Topology) Route(src, dst int, p *Path) {
 	base := dst * (t.levels - 1)
 	idx := 0
 	for l := 0; l < a; l++ {
-		p.Links[idx] = int32(t.upBase[l]+(src/t.pow[l+1])*t.pow[l]*t.m) + t.upOff[base+l]
+		p.Links[idx] = int32(t.upBase[l]+(src/t.pow[l+1])*t.lcap[l]) + t.upOff[base+l]
 		idx++
 	}
 	for l := a - 1; l >= 0; l-- {

@@ -1,0 +1,175 @@
+// Placement policies for the multi-tenant scheduler: given the set of
+// currently free nodes, pick which ones a newly arrived job runs on.
+// Placement decides how much of a job's reduction tree crosses shared
+// uplinks, so on an oversubscribed fabric it is the knob that separates
+// a locality-aware scheduler from a naive one (nethint's PlaceMapper /
+// ReducerPlacementPolicy pairing, scored the same way: by per-job JCT).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"abred/internal/topo"
+)
+
+// Placement selects k nodes for a job from the free set. free is
+// ascending and must not be mutated; the result is a fresh ascending
+// slice of k node ids drawn from free. rng is the job's dedicated
+// placement stream — a policy draws only from it, so placements are a
+// pure function of (seed, jobID, free set).
+type Placement interface {
+	Name() string
+	Place(t *topo.Topology, free []int, k int, rng *rand.Rand) []int
+}
+
+// ParsePlacement maps a -place flag value to a policy.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "", "random":
+		return RandomPlacement{}, nil
+	case "greedy":
+		return GreedyPlacement{}, nil
+	case "genetic":
+		return GeneticPlacement{}, nil
+	}
+	return nil, fmt.Errorf("unknown placement %q (random|greedy|genetic)", s)
+}
+
+// RandomPlacement scatters the job uniformly over the free nodes — the
+// baseline every locality policy is scored against.
+type RandomPlacement struct{}
+
+// Name implements Placement.
+func (RandomPlacement) Name() string { return "random" }
+
+// Place implements Placement: a seeded partial Fisher-Yates draw.
+func (RandomPlacement) Place(t *topo.Topology, free []int, k int, rng *rand.Rand) []int {
+	pool := append([]int(nil), free...)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	out := pool[:k]
+	sort.Ints(out)
+	return out
+}
+
+// GreedyPlacement packs the job under as few leaf switches as possible:
+// leaves are filled from the one with the most free nodes downward, so
+// intra-leaf tree edges never touch the oversubscribed uplinks.
+type GreedyPlacement struct{}
+
+// Name implements Placement.
+func (GreedyPlacement) Name() string { return "greedy" }
+
+// Place implements Placement. Deterministic without consuming rng:
+// ties break on leaf index, so every rank computes the same answer.
+func (GreedyPlacement) Place(t *topo.Topology, free []int, k int, rng *rand.Rand) []int {
+	byLeaf := groupByLeaf(t, free)
+	order := make([]int, 0, len(byLeaf))
+	for leaf := range byLeaf {
+		order = append(order, leaf)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if len(byLeaf[a]) != len(byLeaf[b]) {
+			return len(byLeaf[a]) > len(byLeaf[b])
+		}
+		return a < b
+	})
+	out := make([]int, 0, k)
+	for _, leaf := range order {
+		for _, n := range byLeaf[leaf] {
+			if len(out) == k {
+				break
+			}
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GeneticPlacement searches placements with a small seeded genetic
+// algorithm scoring locality (fewer distinct pods, then fewer distinct
+// leaves — the static proxy for JCT on an oversubscribed fabric). It
+// explores mixes greedy packing cannot reach when the free set is
+// fragmented, at a construction cost only the scheduler pays.
+type GeneticPlacement struct {
+	// Generations and Population default to 12 and 16 when zero.
+	Generations, Population int
+}
+
+// Name implements Placement.
+func (g GeneticPlacement) Name() string { return "genetic" }
+
+// Place implements Placement.
+func (g GeneticPlacement) Place(t *topo.Topology, free []int, k int, rng *rand.Rand) []int {
+	gens, pop := g.Generations, g.Population
+	if gens == 0 {
+		gens = 12
+	}
+	if pop == 0 {
+		pop = 16
+	}
+	if k == len(free) {
+		return append([]int(nil), free...)
+	}
+
+	// A genome is a k-subset of free, kept sorted. Seed the population
+	// with random draws plus one greedy individual so the search starts
+	// at least as good as the greedy baseline.
+	genomes := make([][]int, pop)
+	genomes[0] = GreedyPlacement{}.Place(t, free, k, rng)
+	for i := 1; i < pop; i++ {
+		genomes[i] = RandomPlacement{}.Place(t, free, k, rng)
+	}
+	cost := func(genome []int) int {
+		pods := map[int]bool{}
+		leaves := map[int]bool{}
+		for _, n := range genome {
+			pods[t.PodOf(n)] = true
+			leaves[t.Leaf(n)] = true
+		}
+		return len(pods)*1000 + len(leaves)
+	}
+	best := append([]int(nil), genomes[0]...)
+	bestCost := cost(best)
+	for gen := 0; gen < gens; gen++ {
+		sort.Slice(genomes, func(i, j int) bool { return cost(genomes[i]) < cost(genomes[j]) })
+		if c := cost(genomes[0]); c < bestCost {
+			bestCost = c
+			best = append(best[:0], genomes[0]...)
+		}
+		// Elitism: keep the top half, refill the rest with mutated
+		// copies — swap a member for a random free node.
+		for i := pop / 2; i < pop; i++ {
+			parent := genomes[i-pop/2]
+			child := append(genomes[i][:0], parent...)
+			in := map[int]bool{}
+			for _, n := range child {
+				in[n] = true
+			}
+			repl := free[rng.Intn(len(free))]
+			if !in[repl] {
+				child[rng.Intn(k)] = repl
+				sort.Ints(child)
+			}
+			genomes[i] = child
+		}
+	}
+	return best
+}
+
+// groupByLeaf buckets free nodes by their leaf switch, preserving the
+// ascending order within each bucket.
+func groupByLeaf(t *topo.Topology, free []int) map[int][]int {
+	byLeaf := make(map[int][]int)
+	for _, n := range free {
+		l := t.Leaf(n)
+		byLeaf[l] = append(byLeaf[l], n)
+	}
+	return byLeaf
+}
