@@ -32,6 +32,7 @@ bench:
 		-toposizes 1024,2048,4096,8192,16384 -topoiters 6 \
 		-pdessize 16384 -pdeslps 1,2,4 -pdesiters 6 \
 		-engine flow -flowsizes 65536,262144,1048576 -flowiters 3 \
+		-flowpdessizes 65536,262144,1048576 -flowpdeslps 1,2,4 -flowpdesiters 3 \
 		-jobs 4,8,16 -oversub 1,8 -place random,greedy \
 		-csv -benchjson BENCH_kernel.json
 

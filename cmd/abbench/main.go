@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	abbench [-fig 6|7|8|9|10|loss|topo|tenancy|all] [-ablations] [-iters N] [-seed N]
+//	abbench [-fig 6|7|8|9|10|loss|topo|tenancy|flowpdes|all] [-ablations] [-iters N] [-seed N]
 //	        [-loss P] [-faultseed N] [-topo SPEC] [-parallel N] [-reuse=bool]
 //	        [-cpuprofile FILE] [-memprofile FILE] [-csv] [-sweepjson FILE]
 //
@@ -28,6 +28,11 @@
 // jobs with Poisson arrivals on an oversubscribed fat tree, each job
 // reducing on its own sub-communicator, random scatter vs greedy
 // locality packing (a routed -topo picks the fabric).
+//
+// -fig flowpdes runs the parallel flow-engine figure: one mid-size fat
+// tree simulated by the flow engine at 1, 2 and 4 logical processes,
+// reporting wall clock with a 95% confidence half-width alongside the
+// virtual-time columns that pin each LP count's determinism.
 //
 // -topo SPEC (crossbar, fattree:K or leafspine:R) replaces the ideal
 // single crossbar with a routed multi-stage fabric for every figure;
@@ -83,7 +88,7 @@ func entry(p sweep.Perf) sweepEntry {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, loss, topo, tenancy or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, 10, loss, topo, tenancy, flowpdes or all")
 	ablations := flag.Bool("ablations", false, "also run the delay-heuristic and NIC-reduction studies")
 	iters := flag.Int("iters", 200, "benchmark iterations per data point")
 	seed := flag.Int64("seed", 20030701, "simulation seed (results are exactly reproducible per seed)")
@@ -175,6 +180,13 @@ func main() {
 		emit(bench.TenancyFigure(o))
 		ran++
 	}
+	if *fig == "flowpdes" {
+		// Parallel flow-engine figure: the flow engine partitions and
+		// times itself serially (each LP-count cell may use several
+		// cores), so the worker pool and cluster reuse pool don't apply.
+		emit(bench.FlowPDESFigure(o))
+		ran++
+	}
 	if *fig == "topo" {
 		// The sweep sets its own per-job topologies (crossbar baseline in
 		// half its cells), so a routed -topo would be contradictory here;
@@ -191,7 +203,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "abbench: unknown figure %q (want 6, 7, 8, 9, 10, loss, topo, tenancy or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "abbench: unknown figure %q (want 6, 7, 8, 9, 10, loss, topo, tenancy, flowpdes or all)\n", *fig)
 		os.Exit(2)
 	}
 

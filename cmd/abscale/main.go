@@ -15,6 +15,7 @@
 //	        [-toposizes 1024,...,16384] [-topoiters N] [-topo SPEC]
 //	        [-lps N] [-pdessize N] [-pdeslps 1,2,4] [-pdesiters N]
 //	        [-engine packet|flow] [-flowsizes 65536,...,1048576] [-flowiters N]
+//	        [-flowpdessizes 65536,...] [-flowpdeslps 1,2,4] [-flowpdesiters N]
 //	        [-jobs 4,8,16] [-oversub 1,4] [-place random,greedy]
 //	        [-tenancynodes N] [-tenancyiters N] [-tenancycount N]
 //	        [-seed N] [-skew D] [-loss P] [-faultseed N] [-parallel N]
@@ -44,7 +45,16 @@
 // counts (default 65536–1048576, far past what the packet engine can
 // hold) on the -topo fabric, nab versus ab, recorded as flow_sweep in
 // -benchjson with per-size wall/heap/events columns. The packet-engine
-// sweeps above still run and keep their baselines comparable.
+// sweeps above still run and keep their baselines comparable. The flow
+// engine also honours -lps: the max-min substrate is sharded along pod
+// boundaries and run under the conservative parallel kernel, with
+// cross-spine flows coupled through a stub/grant protocol.
+// -flowpdessizes adds the parallel flow sweep: each listed size is
+// rerun at every -flowpdeslps count (same nab/ab pair as the flow
+// grid, so walls compare against the recorded monolithic flow_sweep
+// baselines), best of 3 repetitions with a 95% confidence half-width,
+// recorded as flow_pdes_sweep; the same core-count disclaimer as the
+// packet PDES sweep applies when LPs exceed the machine's cores.
 //
 // -jobs enables the multi-tenant sweep: each listed job count is run on
 // a -tenancynodes cluster with the -topo fabric at every -oversub
@@ -150,6 +160,9 @@ func main() {
 	engineFlag := flag.String("engine", "packet", "simulation engine: packet (full fidelity) or flow (large-scale)")
 	flowSizes := flag.String("flowsizes", "65536,262144,1048576", "flow-engine grid node counts (\"\" skips it; -engine flow only)")
 	flowIters := flag.Int("flowiters", 3, "iterations per flow-engine data point")
+	flowPdesSizes := flag.String("flowpdessizes", "", "parallel flow sweep node counts (\"\" skips it; -engine flow only)")
+	flowPdesLPs := flag.String("flowpdeslps", "1,2,4", "comma-separated LP counts for the parallel flow sweep")
+	flowPdesIters := flag.Int("flowpdesiters", 3, "iterations per parallel flow data point")
 	jobsFlag := flag.String("jobs", "", "tenancy-sweep concurrent-job counts (\"\" skips the multi-tenant sweep)")
 	oversubFlag := flag.String("oversub", "1,4", "tenancy-sweep oversubscription ratios applied to the -topo fabric")
 	placeFlag := flag.String("place", "random,greedy", "tenancy-sweep placement policies (comma list of random|greedy|genetic)")
@@ -170,8 +183,9 @@ func main() {
 	flag.Parse()
 
 	// Validate the engine/kernel flag combination up front so a bad mix
-	// (e.g. -engine flow -lps 4: the flow engine is monolithic) is a
-	// flag-level error, not a panic deep inside the first sweep.
+	// (e.g. -lps on an unroutable topology) is a flag-level error, not a
+	// panic deep inside the first sweep. Both engines honour -lps now:
+	// the packet fabric and the flow substrate each shard along pods.
 	engine, err := cluster.ParseEngine(*engineFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "abscale: %v\n", err)
@@ -265,7 +279,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "abscale: -pdessize needs a routed -topo, got %q\n", *topoFlag)
 			os.Exit(2)
 		}
-		lpsList := parseLPs(*pdesLPs)
+		lpsList := parseLPs("-pdeslps", *pdesLPs)
 		maxLPs := 0
 		for _, l := range lpsList {
 			if l > maxLPs {
@@ -321,6 +335,57 @@ func main() {
 		}
 	}
 
+	var flowPdesDoc *flowPdesSweepDoc
+	if fps := parseSizes("-flowpdessizes", *flowPdesSizes); len(fps) > 0 {
+		if engine != cluster.EngineFlow {
+			fmt.Fprintln(os.Stderr, "abscale: -flowpdessizes needs -engine flow")
+			os.Exit(2)
+		}
+		ft, err := topo.ParseSpec(*topoFlag)
+		if err != nil || ft.Kind == topo.Crossbar {
+			fmt.Fprintf(os.Stderr, "abscale: -flowpdessizes needs a routed -topo, got %q\n", *topoFlag)
+			os.Exit(2)
+		}
+		lpsList := parseLPs("-flowpdeslps", *flowPdesLPs)
+		maxLPs := 0
+		for _, l := range lpsList {
+			if l > maxLPs {
+				maxLPs = l
+			}
+		}
+		cores := runtime.NumCPU()
+		points := bench.FlowPDESSweep(fps, ft, *skew, *count, *flowPdesIters, *seed, lpsList)
+		flowPdesDoc = &flowPdesSweepDoc{Fabric: ft.String(), MaxSkew: skew.String(),
+			Elements: *count, Iters: *flowPdesIters, Cores: runtime.GOMAXPROCS(0),
+			NumCPU: cores, LPCounts: lpsList, Points: points,
+			SpeedupClaimValid: maxLPs <= cores}
+		if maxLPs > cores {
+			flowPdesDoc.Oversubscribed = true
+			flowPdesDoc.Note = fmt.Sprintf("max LP count %d exceeds the machine's %d core(s); "+
+				"wall-clock speedup_vs_first_lps measures goroutine scheduling, not parallel execution",
+				maxLPs, cores)
+			fmt.Fprintf(os.Stderr, "abscale: warning: -flowpdeslps goes up to %d LPs on %d core(s); "+
+				"speedup numbers are scheduling artifacts and are annotated as invalid claims\n",
+				maxLPs, cores)
+		}
+		// Per-size speedup against that size's first LP-count cell.
+		base := map[int]float64{}
+		fmt.Printf("Parallel flow sweep — %s, max skew %v, %d elements, %d iters, min of %d reps\n",
+			ft, *skew, *count, *flowPdesIters, bench.FlowPDESReps)
+		fmt.Printf("%10s %6s %12s %10s %10s %10s %14s %12s %9s\n",
+			"nodes", "lps", "wall_ms", "ci95_ms", "nab_us", "ab_us", "events", "fct_p99_us", "speedup")
+		for _, p := range points {
+			if _, ok := base[p.Nodes]; !ok {
+				base[p.Nodes] = p.WallMS
+			}
+			sp := base[p.Nodes] / p.WallMS
+			flowPdesDoc.Speedup = append(flowPdesDoc.Speedup, sp)
+			fmt.Printf("%10d %6d %12.1f %10.1f %10.3f %10.3f %14d %12.1f %8.2fx\n",
+				p.Nodes, p.LPs, p.WallMS, p.CI95MS, p.NabUS, p.AbUS, p.Events, p.FCTp99US, sp)
+		}
+		fmt.Println()
+	}
+
 	var tenancyDoc *tenancySweepDoc
 	if jobCounts := parseCounts("-jobs", *jobsFlag); len(jobCounts) > 0 {
 		ft, err := topo.ParseSpec(*topoFlag)
@@ -363,7 +428,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, sizes, *iters, entries, topoDoc, pdesDoc, flowDoc, tenancyDoc); err != nil {
+		if err := writeBenchJSON(*benchJSON, sizes, *iters, entries, topoDoc, pdesDoc, flowDoc, flowPdesDoc, tenancyDoc); err != nil {
 			fmt.Fprintf(os.Stderr, "abscale: %v\n", err)
 			os.Exit(1)
 		}
@@ -389,20 +454,20 @@ func parseCounts(flagName, v string) []int {
 	return out
 }
 
-// parseLPs parses the -pdeslps list (entries ≥ 1; "1" is the
-// monolithic reference point, so parseSizes' ≥ 2 floor doesn't apply).
-func parseLPs(v string) []int {
+// parseLPs parses an LP-count list (entries ≥ 1; "1" is the monolithic
+// reference point, so parseSizes' ≥ 2 floor doesn't apply).
+func parseLPs(flagName, v string) []int {
 	var out []int
 	for _, f := range strings.Split(v, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "abscale: bad -pdeslps entry %q\n", f)
+			fmt.Fprintf(os.Stderr, "abscale: bad %s entry %q\n", flagName, f)
 			os.Exit(2)
 		}
 		out = append(out, n)
 	}
 	if len(out) == 0 {
-		fmt.Fprintln(os.Stderr, "abscale: -pdeslps must name at least one LP count")
+		fmt.Fprintf(os.Stderr, "abscale: %s must name at least one LP count\n", flagName)
 		os.Exit(2)
 	}
 	return out
@@ -456,6 +521,29 @@ type flowSweepDoc struct {
 	Points   []bench.FlowPoint `json:"points"`
 }
 
+// flowPdesSweepDoc is the parallel flow sweep's record in -benchjson
+// output (-engine flow -flowpdessizes): the sizes × LP-counts grid,
+// each cell the flow grid's nab/ab pair under that LP count, best of
+// bench.FlowPDESReps repetitions with a 95% confidence half-width on
+// the wall. speedup_vs_first_lps compares each cell against its size's
+// first LP-count cell; the monolithic flow_sweep baselines recorded
+// before the engine was sharded stay in flow_sweep for comparison.
+// Carries the same oversubscription disclaimer as pdes_sweep.
+type flowPdesSweepDoc struct {
+	Fabric            string                `json:"fabric"`
+	MaxSkew           string                `json:"max_skew"`
+	Elements          int                   `json:"elements"`
+	Iters             int                   `json:"iters"`
+	Cores             int                   `json:"cores"`
+	NumCPU            int                   `json:"num_cpu"`
+	Oversubscribed    bool                  `json:"oversubscribed"`
+	SpeedupClaimValid bool                  `json:"speedup_claim_valid"`
+	Note              string                `json:"note,omitempty"`
+	LPCounts          []int                 `json:"lp_counts"`
+	Points            []bench.FlowPDESPoint `json:"points"`
+	Speedup           []float64             `json:"speedup_vs_first_lps"`
+}
+
 // tenancySweepDoc is the multi-tenant sweep's record in -benchjson
 // output (-jobs): per-(job count, oversubscription, placement) JCT
 // percentiles with 95% confidence half-widths and the AB-vs-binomial
@@ -488,7 +576,7 @@ func sameSizes(a, b []int) bool {
 // writeBenchJSON records the scaling sweeps' execution metrics plus the
 // fixed kernel microbenchmark, side by side with the recorded
 // pre-overhaul kernel baseline and the pre-reuse sweep baseline.
-func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, topoDoc *topoSweepDoc, pdesDoc *pdesSweepDoc, flowDoc *flowSweepDoc, tenancyDoc *tenancySweepDoc) error {
+func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, topoDoc *topoSweepDoc, pdesDoc *pdesSweepDoc, flowDoc *flowSweepDoc, flowPdesDoc *flowPdesSweepDoc, tenancyDoc *tenancySweepDoc) error {
 	micro := bench.KernelMicrobench(bench.AppBypass, 50, 20030701)
 	microNab := bench.KernelMicrobench(bench.NonAppBypass, 50, 20030701)
 	doc := struct {
@@ -518,15 +606,16 @@ func writeBenchJSON(path string, sizes []int, iters int, entries []perfEntry, to
 		SweepWallSpeedup    float64 `json:"sweep_wall_speedup_vs_baseline,omitempty"`
 		SweepAllocReduction float64 `json:"sweep_alloc_reduction_vs_baseline,omitempty"`
 
-		ScalingPerf  []perfEntry      `json:"scaling_sweeps"`
-		TopoSweep    *topoSweepDoc    `json:"topo_sweep,omitempty"`
-		PDESSweep    *pdesSweepDoc    `json:"pdes_sweep,omitempty"`
-		FlowSweep    *flowSweepDoc    `json:"flow_sweep,omitempty"`
-		TenancySweep *tenancySweepDoc `json:"tenancy_sweep,omitempty"`
+		ScalingPerf   []perfEntry       `json:"scaling_sweeps"`
+		TopoSweep     *topoSweepDoc     `json:"topo_sweep,omitempty"`
+		PDESSweep     *pdesSweepDoc     `json:"pdes_sweep,omitempty"`
+		FlowSweep     *flowSweepDoc     `json:"flow_sweep,omitempty"`
+		FlowPDESSweep *flowPdesSweepDoc `json:"flow_pdes_sweep,omitempty"`
+		TenancySweep  *tenancySweepDoc  `json:"tenancy_sweep,omitempty"`
 	}{Workload: "32-node Fig. 6 CPU-utilization workload (count=4, skew=1ms, iters=50, seed=20030701)",
 		Sizes: sizes, Iters: iters, Micro: micro, MicroNab: microNab,
 		ScalingPerf: entries, TopoSweep: topoDoc, PDESSweep: pdesDoc, FlowSweep: flowDoc,
-		TenancySweep: tenancyDoc}
+		FlowPDESSweep: flowPdesDoc, TenancySweep: tenancyDoc}
 	doc.Baseline.EventsPerSec = bench.BaselineEventsPerSec
 	doc.Baseline.AllocsPerEvent = bench.BaselineAllocsPerEvent
 	if doc.Baseline.EventsPerSec > 0 {

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"abred/internal/cluster"
+	"abred/internal/model"
+	"abred/internal/topo"
+)
+
+// flowParConfig is the shared shape of the parallel-flow tests: the
+// same 512-node cluster the engine fingerprints pin.
+func flowParConfig(spec topo.Spec, mode Mode, lps int) Config {
+	cfg := Config{
+		Specs:   model.PaperCluster(512),
+		Count:   4,
+		Mode:    mode,
+		MaxSkew: 50000,
+		Iters:   10,
+		Seed:    20030701,
+		Topo:    spec,
+		Engine:  cluster.EngineFlow,
+		LPs:     lps,
+	}
+	if mode == AppBypass {
+		cfg.TopoAware = true
+	}
+	return cfg
+}
+
+func flowFingerprint(r CPUUtilResult) string {
+	return fmt.Sprintf("elapsed=%d avgcpu=%d signals=%d events=%d fctp50=%d fctp99=%d waits=%d wait=%d",
+		r.Elapsed, r.AvgCPU, r.Signals, r.Events, r.FCT.P50, r.FCT.P99, r.LinkWaits, r.LinkWait)
+}
+
+// TestFlowGoldenFingerprints pins the monolithic flow engine's exact
+// output across the LP-partitioning refactor and the heap water-fill:
+// the constants were captured from the pre-refactor engine, and any
+// drift in solver order, route splitting or accounting shows up here
+// before it can silently move a committed benchmark.
+func TestFlowGoldenFingerprints(t *testing.T) {
+	golden := []struct {
+		name string
+		spec topo.Spec
+		mode Mode
+		want string
+	}{
+		{"crossbar/nab", topo.Spec{}, NonAppBypass,
+			"elapsed=7414847 avgcpu=17624 signals=0 events=40900 fctp50=996 fctp99=1120 waits=48 wait=5990"},
+		{"crossbar/ab", topo.Spec{}, AppBypass,
+			"elapsed=8861738 avgcpu=12894 signals=3725 events=46698 fctp50=996 fctp99=1120 waits=40 wait=5482"},
+		{"fattree/nab", topo.Spec{Kind: topo.FatTree, K: 16}, NonAppBypass,
+			"elapsed=7701448 avgcpu=18027 signals=0 events=40900 fctp50=996 fctp99=4196 waits=44 wait=5332"},
+		{"fattree/ab", topo.Spec{Kind: topo.FatTree, K: 16}, AppBypass,
+			"elapsed=9145767 avgcpu=12949 signals=3726 events=46699 fctp50=996 fctp99=4196 waits=44 wait=5952"},
+		{"leafspine/nab", topo.Spec{Kind: topo.LeafSpine, K: 32}, NonAppBypass,
+			"elapsed=7542598 avgcpu=17713 signals=0 events=40900 fctp50=996 fctp99=2596 waits=48 wait=5990"},
+		{"leafspine/ab", topo.Spec{Kind: topo.LeafSpine, K: 32}, AppBypass,
+			"elapsed=8981343 avgcpu=12916 signals=3725 events=46698 fctp50=996 fctp99=2596 waits=42 wait=5594"},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			if got := flowFingerprint(CPUUtil(flowParConfig(g.spec, g.mode, 1))); got != g.want {
+				t.Errorf("monolithic fingerprint drifted:\n got %s\nwant %s", got, g.want)
+			}
+		})
+	}
+}
+
+// TestFlowLPsDeterministic pins the partitioned flow engine's
+// reproducibility: for every topology and LP count, a fresh build, a
+// second fresh build, a Reset reuse and a warm-pool run must produce
+// identical output.
+func TestFlowLPsDeterministic(t *testing.T) {
+	topos := []struct {
+		name string
+		spec topo.Spec
+	}{
+		{"fattree", topo.Spec{Kind: topo.FatTree, K: 16}},
+		{"leafspine", topo.Spec{Kind: topo.LeafSpine, K: 32}},
+	}
+	for _, tp := range topos {
+		for _, lps := range []int{2, 4} {
+			tp, lps := tp, lps
+			t.Run(fmt.Sprintf("%s/lps%d", tp.name, lps), func(t *testing.T) {
+				cfg := flowParConfig(tp.spec, AppBypass, lps)
+				fresh := flowFingerprint(CPUUtil(cfg))
+				if again := flowFingerprint(CPUUtil(cfg)); again != fresh {
+					t.Errorf("fresh rebuild diverged:\n got %s\nwant %s", again, fresh)
+				}
+				pool := cluster.NewPool()
+				defer pool.Drain()
+				pcfg := cfg
+				pcfg.Pool = pool
+				if cold := flowFingerprint(CPUUtil(pcfg)); cold != fresh {
+					t.Errorf("pooled (cold) run diverged:\n got %s\nwant %s", cold, fresh)
+				}
+				// Second acquire hits the warmed cluster via Reset.
+				if warm := flowFingerprint(CPUUtil(pcfg)); warm != fresh {
+					t.Errorf("pooled (warm Reset) run diverged:\n got %s\nwant %s", warm, fresh)
+				}
+			})
+		}
+	}
+}
+
+// TestFlowLPsCrossbarClamps pins the clamp: a crossbar has one pod, so
+// -engine flow -lps 4 must run monolithic and reproduce the monolithic
+// fingerprint bit for bit.
+func TestFlowLPsCrossbarClamps(t *testing.T) {
+	mono := flowFingerprint(CPUUtil(flowParConfig(topo.Spec{}, AppBypass, 1)))
+	if got := flowFingerprint(CPUUtil(flowParConfig(topo.Spec{}, AppBypass, 4))); got != mono {
+		t.Errorf("clamped lps=4 crossbar diverged from monolithic:\n got %s\nwant %s", got, mono)
+	}
+}

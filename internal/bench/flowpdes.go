@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"abred/internal/cluster"
+	"abred/internal/model"
+	"abred/internal/sim"
+	"abred/internal/stats"
+	"abred/internal/sweep"
+	"abred/internal/topo"
+)
+
+// FlowPDESReps is how many times each cell runs; the minimum wall is
+// kept and the CI95 half-width is computed over all repetitions.
+const FlowPDESReps = pdesReps
+
+// FlowPDESPoint is one (size, LP count) cell of the parallel flow-engine
+// sweep. Each cell runs the same nab+ab pair as the flow scaling sweep,
+// so its wall column is directly comparable against the monolithic
+// flow_sweep baselines recorded before the engine was sharded.
+type FlowPDESPoint struct {
+	Nodes    int     `json:"nodes"`
+	LPs      int     `json:"lps"`     // requested (clamped to the topology's pods)
+	WallMS   float64 `json:"wall_ms"` // min of the repetitions' nab+ab walls
+	CI95MS   float64 `json:"ci95_ms"` // 95% half-width over those walls
+	NabUS    float64 `json:"nab_us"`
+	AbUS     float64 `json:"ab_us"`
+	Events   uint64  `json:"events"` // nab+ab total, including protocol messages
+	FCTp99US float64 `json:"fct_p99_us"`
+}
+
+// FlowPDESSweep measures the LP-partitioned flow engine over the
+// sizes × LP-counts grid: per cell, the paper's nab/ab pair on a pooled
+// cluster, best of pdesReps repetitions with the Hunold-style CI95
+// half-width over the repetition walls. Repetitions double as a
+// determinism check — their virtual-time results must be identical.
+// Virtual time is NOT required to match across LP counts here: the
+// cross-spine grant protocol relaxes rate freshness by up to a window,
+// so different LP counts are distinct (each internally deterministic)
+// discretizations of the same fluid model.
+// FlowPDESFigure is abbench's -fig flowpdes table: the LP-partitioned
+// flow engine at one mid-size fat tree over LP counts 1/2/4 — wall
+// clock with its CI95 half-width next to the nab/ab virtual-time
+// columns the per-LP-count determinism check pins. A routed -topo
+// picks the fabric; the default crossbar (which cannot be partitioned)
+// is replaced by fattree:16.
+func FlowPDESFigure(o Opts) *Table {
+	o = o.withDefaults()
+	ft := o.Topo
+	if ft.Kind == topo.Crossbar {
+		ft = topo.Spec{Kind: topo.FatTree, K: 16}
+	}
+	const nodes = 4096
+	iters := o.Iters/40 + 1 // flow cells run 3 reps each; scale down abbench's default
+	t0 := time.Now()
+	points := FlowPDESSweep([]int{nodes}, ft, sim.Time(time.Millisecond), 4, iters, o.Seed,
+		[]int{1, 2, 4})
+	t := &Table{
+		Title: fmt.Sprintf("Parallel flow engine — %d nodes on %s, %d iters, min of %d reps",
+			nodes, ft, iters, FlowPDESReps),
+		XName: "lps",
+		Cols:  []string{"wall_ms", "ci95_ms", "nab_us", "ab_us", "factor", "fct_p99_us"},
+		Notes: []string{
+			"The max-min substrate sharded along pod boundaries under the",
+			"conservative parallel kernel; nab/ab/fct columns are virtual",
+			"time and identical across repetitions at every LP count.",
+		},
+	}
+	var events uint64
+	for _, p := range points {
+		t.X = append(t.X, float64(p.LPs))
+		factor := 0.0
+		if p.AbUS > 0 {
+			factor = p.NabUS / p.AbUS
+		}
+		t.Rows = append(t.Rows, []float64{p.WallMS, p.CI95MS, p.NabUS, p.AbUS, factor, p.FCTp99US})
+		events += p.Events
+	}
+	wall := time.Since(t0)
+	t.Perf = sweep.Perf{Name: "flowpdes", Jobs: 2 * FlowPDESReps * len(points), Workers: 1,
+		Wall: wall, JobWall: wall, Events: events}
+	return t
+}
+
+func FlowPDESSweep(sizes []int, ft topo.Spec, maxSkew sim.Time, count, iters int, seed int64, lps []int) []FlowPDESPoint {
+	points := make([]FlowPDESPoint, 0, len(sizes)*len(lps))
+	for _, n := range sizes {
+		specs := model.PaperCluster(n)
+		for _, l := range lps {
+			mk := func(pool *cluster.Pool, mode Mode, topoAware bool) Config {
+				return Config{Specs: specs, Count: count, Mode: mode, MaxSkew: maxSkew,
+					Iters: iters, Seed: seed, Topo: ft, TopoAware: topoAware,
+					Engine: cluster.EngineFlow, LPs: l, Pool: pool}
+			}
+			var pt FlowPDESPoint
+			walls := make([]time.Duration, 0, pdesReps)
+			for rep := 0; rep < pdesReps; rep++ {
+				pool := cluster.NewPool()
+				t0 := time.Now()
+				nab := CPUUtil(mk(pool, NonAppBypass, false))
+				ab := CPUUtil(mk(pool, AppBypass, true))
+				walls = append(walls, time.Since(t0))
+				pool.Drain()
+				got := FlowPDESPoint{Nodes: n, LPs: l,
+					NabUS:    us(nab.AvgCPU),
+					AbUS:     us(ab.AvgCPU),
+					Events:   nab.Events + ab.Events,
+					FCTp99US: us(ab.FCT.P99),
+				}
+				if rep == 0 {
+					pt = got
+					continue
+				}
+				if got != pt {
+					panic(fmt.Sprintf("bench: flow n=%d lps=%d rep %d diverged: %+v vs %+v",
+						n, l, rep, got, pt))
+				}
+			}
+			s := stats.Summarize(walls)
+			pt.WallMS = float64(s.Min) / float64(time.Millisecond)
+			pt.CI95MS = float64(s.CI95) / float64(time.Millisecond)
+			points = append(points, pt)
+		}
+	}
+	return points
+}

@@ -33,7 +33,7 @@ func flowCPUUtil(cfg Config) CPUUtilResult {
 		panic(fmt.Sprintf("bench: flow benchmark on a %v cluster", cl.Engine))
 	}
 	m := cl.FlowM
-	m.Net.SampleFCT(true)
+	m.SampleFCT(true)
 
 	// The skew matrix: identical draw order to the packet path, so a
 	// given (seed, size, iters) pair skews both engines identically.
@@ -62,6 +62,7 @@ func flowCPUUtil(cfg Config) CPUUtilResult {
 		iters: cfg.Iters,
 		rk:    make([]flowRankState, size),
 		cpu:   make([]sim.Time, size),
+		fin:   make([]bool, size),
 	}
 	d.sp = flow.NewSpinner(m, size, d.spinDone)
 	fc.Done = d.opDone
@@ -73,9 +74,15 @@ func flowCPUUtil(cfg Config) CPUUtilResult {
 		t0 := m.HostRun(r, 0, sim.Time(cm.Pin(64*cm.C.EagerThreshold)))
 		d.startIter(r, t0)
 	}
-	end := cl.K.Run()
-	if d.done != size {
-		panic(fmt.Sprintf("bench: flow run drained with %d/%d ranks finished", d.done, size))
+	end := cl.Drain()
+	done := 0
+	for _, f := range d.fin {
+		if f {
+			done++
+		}
+	}
+	if done != size {
+		panic(fmt.Sprintf("bench: flow run drained with %d/%d ranks finished", done, size))
 	}
 
 	perNode := make([]sim.Time, size)
@@ -102,13 +109,13 @@ func flowCPUUtil(cfg Config) CPUUtilResult {
 		LinkWaits: delayed,
 		LinkWait:  delayTotal,
 		Elapsed:   end,
-		FCT:       stats.Summarize(m.Net.FCTs()),
+		FCT:       stats.Summarize(m.FCTs()),
 	}
 }
 
-// netDelays unpacks the Net contention counters.
+// netDelays unpacks the Net contention counters, shard-summed.
 func netDelays(m *flow.Machine) (started uint64, delayed uint64, delayTotal sim.Time) {
-	started, _, delayed, delayTotal = m.Net.Stats()
+	started, _, delayed, delayTotal = m.NetStats()
 	return started, delayed, delayTotal
 }
 
@@ -133,7 +140,9 @@ type flowDriver struct {
 	iters   int
 	rk      []flowRankState
 	cpu     []sim.Time
-	done    int
+	// fin is per-rank (not a shared counter) so concurrent LP windows
+	// never write the same word; the driver counts it after the drain.
+	fin []bool
 }
 
 func (d *flowDriver) startIter(r int, t sim.Time) {
@@ -175,7 +184,7 @@ func (d *flowDriver) opDone(r int, t sim.Time) {
 		if int(st.iter) < d.iters {
 			d.startIter(r, t)
 		} else {
-			d.done++
+			d.fin[r] = true
 		}
 	default:
 		panic(fmt.Sprintf("bench: flow rank %d completed an op in phase %d", r, st.phase))

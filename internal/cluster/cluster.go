@@ -108,14 +108,11 @@ type Config struct {
 // Validate checks a Config for construction-time contradictions,
 // returning an error instead of the panic New raises. Callers holding
 // flag-level input (abscale, abbench) run it first so a bad combination
-// — the flow engine with a partitioned run, an oversubscribed crossbar
-// — surfaces as a usage error, not a stack trace.
+// — an oversubscribed crossbar, an empty spec table — surfaces as a
+// usage error, not a stack trace.
 func (cfg Config) Validate() error {
 	if len(cfg.Specs) == 0 {
 		return fmt.Errorf("cluster: no node specs")
-	}
-	if cfg.Engine == EngineFlow && normLPs(cfg.LPs) > 1 {
-		return fmt.Errorf("cluster: the flow engine is monolithic; -lps %d requires the packet engine", cfg.LPs)
 	}
 	if err := cfg.Topo.Validate(); err != nil {
 		return err
@@ -371,6 +368,18 @@ func (c *Cluster) Run(program Program) sim.Time {
 		}
 	}
 	return end
+}
+
+// Drain runs the already-scheduled event population to quiescence and
+// returns the final virtual time: the LPSet window loop when the
+// cluster is partitioned, the single kernel otherwise. This is how the
+// flow-engine drivers (bench, workload) run a cluster — they seed
+// events through the flow API rather than spawning processes.
+func (c *Cluster) Drain() sim.Time {
+	if c.lpset != nil {
+		return c.lpset.Run()
+	}
+	return c.K.Run()
 }
 
 // Events returns the number of simulated events executed, summed over

@@ -43,27 +43,43 @@ func ParseEngine(s string) (Engine, error) {
 	return EnginePacket, fmt.Errorf("unknown engine %q (packet|flow)", s)
 }
 
-// newFlow builds a flow-engine cluster: one kernel, the topology graph,
-// shared cost tables and the flow machine — no fabric, NICs or
-// per-node structs, so construction and footprint stay flat arrays even
-// at a million nodes.
+// newFlow builds a flow-engine cluster: the topology graph, shared
+// cost tables and the flow machine — no fabric, NICs or per-node
+// structs, so construction and footprint stay flat arrays even at a
+// million nodes. When LPs requests a partitioned run, the machine is
+// sharded along the topology's pods (same clamp as the packet engine)
+// and the shards couple through sim.LPSet windows.
 func newFlow(cfg Config) *Cluster {
-	if normLPs(cfg.LPs) > 1 {
-		panic("cluster: the flow engine is monolithic (LPs must be 0 or 1)")
-	}
 	k := sim.New(cfg.Seed)
 	tp := topo.Build(cfg.Topo, len(cfg.Specs))
+	c := &Cluster{
+		K: k, Costs: cfg.Costs, Topo: tp,
+		Engine: EngineFlow, flowSpecs: cfg.Specs,
+		reqLPs: normLPs(cfg.LPs), key: keyOf(cfg),
+	}
+	c.LPs = 1
+	if c.reqLPs > 1 {
+		c.pmap, c.LPs = tp.Partition(c.reqLPs)
+		if c.LPs == 1 {
+			c.pmap = nil
+		}
+	}
+	c.Ks = make([]*sim.Kernel, c.LPs)
+	c.Ks[0] = k
+	for i := 1; i < c.LPs; i++ {
+		c.Ks[i] = sim.New(lpSeed(cfg.Seed, i))
+	}
 	cms := model.SharedCostModels(cfg.Specs, cfg.Costs)
-	m := flow.NewMachine(k, tp, cms, cfg.Costs)
+	m := flow.NewMachines(c.Ks, c.pmap, tp, cms, cfg.Costs)
 	if err := m.SetFaults(cfg.Fault); err != nil {
 		panic("cluster: " + err.Error())
 	}
-	return &Cluster{
-		K: k, Costs: cfg.Costs, Topo: tp,
-		Engine: EngineFlow, FlowM: m, flowSpecs: cfg.Specs,
-		Ks: []*sim.Kernel{k}, LPs: 1, reqLPs: 1,
-		key: keyOf(cfg),
+	c.FlowM = m
+	if c.LPs > 1 {
+		par := m.Par()
+		c.lpset = sim.NewLPSet(c.Ks, par.Lookahead(), par.Exchange)
 	}
+	return c
 }
 
 // resetFlow is Reset for a flow cluster: same shape checks, then kernel
@@ -78,15 +94,18 @@ func (c *Cluster) resetFlow(cfg Config) {
 	if cfg.Topo.Norm() != c.Topo.Spec() {
 		panic(fmt.Sprintf("cluster: Reset with topology %v on a %v cluster", cfg.Topo, c.Topo.Spec()))
 	}
-	if normLPs(cfg.LPs) > 1 {
-		panic("cluster: the flow engine is monolithic (LPs must be 0 or 1)")
+	if normLPs(cfg.LPs) != c.reqLPs {
+		panic(fmt.Sprintf("cluster: Reset with %d LPs on a %d-LP cluster",
+			normLPs(cfg.LPs), c.reqLPs))
 	}
 	for i, s := range c.flowSpecs {
 		if cfg.Specs[i] != s {
 			panic(fmt.Sprintf("cluster: Reset with different spec for node %d", i))
 		}
 	}
-	c.K.Reset(cfg.Seed)
+	for i, k := range c.Ks {
+		k.Reset(lpSeed(cfg.Seed, i))
+	}
 	c.FlowM.Reset()
 	if err := c.FlowM.SetFaults(cfg.Fault); err != nil {
 		panic("cluster: " + err.Error())

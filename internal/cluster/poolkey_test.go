@@ -111,8 +111,10 @@ func TestValidate(t *testing.T) {
 	if err := (Config{}).Validate(); err == nil {
 		t.Error("empty specs validated")
 	}
-	if err := (Config{Specs: model.Uniform(4), Engine: EngineFlow, LPs: 4}).Validate(); err == nil {
-		t.Error("flow engine with LPs 4 validated")
+	// Since the flow engine rides the LPSet scheduler, flow + LPs is a
+	// valid combination (clamped to the topology's pods like packet).
+	if err := (Config{Specs: model.Uniform(4), Engine: EngineFlow, LPs: 4}).Validate(); err != nil {
+		t.Errorf("flow engine with LPs 4 rejected: %v", err)
 	}
 	bad := Config{Specs: model.Uniform(4), Topo: topo.Spec{Kind: topo.Crossbar, Oversub: 4}}
 	if err := bad.Validate(); err == nil {
@@ -123,5 +125,5 @@ func TestValidate(t *testing.T) {
 			t.Error("New on an invalid config did not panic")
 		}
 	}()
-	New(Config{Specs: model.Uniform(4), Engine: EngineFlow, LPs: 4})
+	New(bad)
 }

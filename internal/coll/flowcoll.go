@@ -129,14 +129,23 @@ type FlowColl struct {
 	Done func(rank int, t sim.Time)
 
 	// Signals counts handlers that ran with work, per rank (the flow
-	// image of Engine.Metrics.SignalsHandled). Early and Completed
-	// mirror EarlyMessages and CompletedInstances.
+	// image of Engine.Metrics.SignalsHandled). early and completed
+	// mirror EarlyMessages and CompletedInstances, accumulated per
+	// logical process so concurrent windows never share a counter;
+	// read them through Early()/Completed().
 	Signals   []uint64
-	Early     uint64
-	Completed uint64
+	early     []uint64
+	completed []uint64
 
-	ranks    []frank
-	pendFree [][]int32
+	ranks []frank
+	// pendFree is the descriptor pending-list pool, one free list per
+	// logical process (descriptors are taken and returned on the
+	// owning rank's LP).
+	pendFree [][][]int32
+	// rootKids is the materialized topology-aware child list. Only the
+	// root rank's reduceStart writes it (the AB internal ranks use the
+	// descriptor path), so a single scratch slice is safe under LP
+	// partitioning.
 	rootKids []int
 }
 
@@ -148,8 +157,11 @@ func NewFlowColl(m *flow.Machine, size, root, count int) *FlowColl {
 	}
 	fc := &FlowColl{
 		M: m, Size: size, Root: root, Count: count, Bytes: count * 8,
-		Signals: make([]uint64, size),
-		ranks:   make([]frank, size),
+		Signals:   make([]uint64, size),
+		early:     make([]uint64, m.LPs()),
+		completed: make([]uint64, m.LPs()),
+		ranks:     make([]frank, size),
+		pendFree:  make([][][]int32, m.LPs()),
 	}
 	if thr := m.CMs[0].C.EagerThreshold; fc.Bytes > thr {
 		panic(fmt.Sprintf("coll: flow engine models eager reductions only (%d bytes > threshold %d)", fc.Bytes, thr))
@@ -166,28 +178,53 @@ func (fc *FlowColl) Reset() {
 		fr.unexp = fr.unexp[:0]
 		fr.abq = fr.abq[:0]
 		for j := range fr.descs {
-			fc.putPend(fr.descs[j].pending)
+			fc.putPend(i, fr.descs[j].pending)
 		}
 		fr.descs = fr.descs[:0]
 		fr.op = fop{}
 		fr.sigOn, fr.sigPend = false, false
 		fc.Signals[i] = 0
 	}
-	fc.Early, fc.Completed = 0, 0
+	for i := range fc.early {
+		fc.early[i] = 0
+		fc.completed[i] = 0
+	}
 }
 
-func (fc *FlowColl) getPend() []int32 {
-	if l := len(fc.pendFree); l > 0 {
-		p := fc.pendFree[l-1]
-		fc.pendFree = fc.pendFree[:l-1]
+// Early returns the early-contribution count (EarlyMessages), summed
+// over logical processes.
+func (fc *FlowColl) Early() uint64 {
+	var s uint64
+	for _, v := range fc.early {
+		s += v
+	}
+	return s
+}
+
+// Completed returns the completed-descriptor count
+// (CompletedInstances), summed over logical processes.
+func (fc *FlowColl) Completed() uint64 {
+	var s uint64
+	for _, v := range fc.completed {
+		s += v
+	}
+	return s
+}
+
+func (fc *FlowColl) getPend(rank int) []int32 {
+	free := &fc.pendFree[fc.M.LP(rank)]
+	if l := len(*free); l > 0 {
+		p := (*free)[l-1]
+		*free = (*free)[:l-1]
 		return p
 	}
 	return nil
 }
 
-func (fc *FlowColl) putPend(p []int32) {
-	if cap(p) > 0 && len(fc.pendFree) < 64 {
-		fc.pendFree = append(fc.pendFree, p[:0])
+func (fc *FlowColl) putPend(rank int, p []int32) {
+	free := &fc.pendFree[fc.M.LP(rank)]
+	if cap(p) > 0 && len(*free) < 64 {
+		*free = append(*free, p[:0])
 	}
 }
 
@@ -375,7 +412,7 @@ func (fc *FlowColl) abInternal(rank int, at sim.Time, seq uint64, parent int) {
 	t := m.HostRun(rank, at, cm.HostCopy(fc.Bytes))
 	t = m.HostRun(rank, t, cm.DescriptorOvh())
 
-	pend := fc.getPend()
+	pend := fc.getPend(rank)
 	if fc.Tree != nil {
 		for _, c := range fc.Tree.kids[fc.Tree.off[rank]:fc.Tree.off[rank+1]] {
 			pend = append(pend, c)
@@ -402,7 +439,7 @@ func (fc *FlowColl) abInternal(rank int, at sim.Time, seq uint64, parent int) {
 		}
 		t = m.HostRun(rank, t, cm.QueueSearch(i+1))
 		fr.abq = append(fr.abq[:i], fr.abq[i+1:]...)
-		fc.Early++
+		fc.early[fc.M.LP(rank)]++
 		t = m.HostRun(rank, t, cm.ReduceOp(fc.Count, 8))
 		removePending(d, pk.src)
 	}
@@ -512,8 +549,8 @@ func (fc *FlowColl) completeDesc(rank int, fr *frank, di int, intr bool) {
 	d := fr.descs[di]
 	t := fc.hostCharge(rank, m.Busy[rank], cm.HostSendOvh()+cm.HostCopy(fc.Bytes), intr)
 	m.Send(t, rank, int(d.parent), fc.Bytes, fc, ptag(fkReduce, true, int(d.parent), rank, d.seq))
-	fc.Completed++
-	fc.putPend(d.pending)
+	fc.completed[fc.M.LP(rank)]++
+	fc.putPend(rank, d.pending)
 	fr.descs = append(fr.descs[:di], fr.descs[di+1:]...)
 	fr.sigOn = len(fr.descs) > 0
 }
@@ -614,7 +651,7 @@ func (fc *FlowColl) deliver(dst int, pkt fpkt) {
 	fr := &fc.ranks[dst]
 	if pkt.coll && fr.sigOn && !fr.sigPend {
 		fr.sigPend = true
-		fc.M.WakeAt(pkt.tr+fc.M.CMs[dst].C.SignalDelay, fc, ptag(fkSignal, false, dst, 0, 0))
+		fc.M.WakeAt(dst, pkt.tr+fc.M.CMs[dst].C.SignalDelay, fc, ptag(fkSignal, false, dst, 0, 0))
 	}
 	if fr.op.waiting {
 		if fc.processPkt(dst, fr, pkt, false) {

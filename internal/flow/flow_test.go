@@ -292,9 +292,9 @@ func TestLossModelRejectsNonUniform(t *testing.T) {
 func TestWakeAtOrder(t *testing.T) {
 	k, m := newTestMachine(2)
 	var r rec
-	m.WakeAt(300, &r, 3)
-	m.WakeAt(100, &r, 1)
-	m.WakeAt(200, &r, 2)
+	m.WakeAt(0, 300, &r, 3)
+	m.WakeAt(0, 100, &r, 1)
+	m.WakeAt(0, 200, &r, 2)
 	k.Run()
 	if len(r.tags) != 3 || r.tags[0] != 1 || r.tags[1] != 2 || r.tags[2] != 3 {
 		t.Fatalf("wake order = %v", r.tags)

@@ -22,12 +22,18 @@ const HeaderBytes = 48
 // the flow-mode collective and workload layers advance arithmetically
 // instead of executing on simulated processes.
 //
-// Everything runs in scheduler context on one kernel; timestamps handed
-// to Send/WakeAt may lie in the virtual future (host chains extend past
-// the current event) but never in the past.
+// Everything runs in scheduler context on one kernel — or, under LP
+// partitioning, on one kernel per shard with every per-node array
+// partitioned by the owning LP: element r is only touched by events
+// running on rank r's LP (Send and token return on the source's LP,
+// NIC deposit and receive gating on the destination's), so the shards
+// share the arrays race-free. Per-LP mutable scalars and pools live in
+// mshard. Timestamps handed to Send/WakeAt may lie in the virtual
+// future (host chains extend past the current event) but never in the
+// past.
 type Machine struct {
-	K   *sim.Kernel
-	Net *Net
+	K   *sim.Kernel // shard 0's kernel (the only one when monolithic)
+	Net *Net        // shard 0's net
 	CMs []model.CostModel
 
 	// Per-node clocks, advanced arithmetically by the layers above:
@@ -55,14 +61,24 @@ type Machine struct {
 	waitq    []sendq
 	recvPend [][]sim.Time
 
-	lossP     float64 // per-frame drop probability (uniform rule)
-	maxFrame  int
+	lossP    float64 // per-frame drop probability (uniform rule)
+	maxFrame int
+
+	ks   []*sim.Kernel
+	nets []*Net
+	pmap []int32 // host -> owning LP, nil when monolithic
+	sh   []mshard
+	par  *Par // nil when monolithic
+}
+
+// mshard is one LP's mutable scalars and event pools; indexed by the
+// LP a rank belongs to, so concurrent windows never share an entry.
+type mshard struct {
 	hostStall uint64  // sends that waited for a send token
 	recvStall uint64  // deliveries that waited for a receive token
 	expRetr   float64 // expected retransmitted frames (loss model)
-
-	mfree []*msg
-	tfree []*timer
+	mfree     []*msg
+	tfree     []*timer
 }
 
 // sendq is one node's FIFO of token-stalled sends.
@@ -74,10 +90,16 @@ type sendq struct {
 // NewMachine builds the per-node layer over a fresh Net. t may be nil
 // (crossbar).
 func NewMachine(k *sim.Kernel, t *topo.Topology, cms []model.CostModel, c model.Costs) *Machine {
+	return NewMachines([]*sim.Kernel{k}, nil, t, cms, c)
+}
+
+// NewMachines builds the per-node layer LP-partitioned over one kernel
+// per shard, with pmap assigning each rank to a shard (topo.Partition).
+// A single kernel with a nil pmap is the monolithic engine.
+func NewMachines(ks []*sim.Kernel, pmap []int32, t *topo.Topology, cms []model.CostModel, c model.Costs) *Machine {
 	n := len(cms)
 	m := &Machine{
-		K:          k,
-		Net:        NewNet(k, t, n, c),
+		K:          ks[0],
 		CMs:        cms,
 		Busy:       make([]sim.Time, n),
 		Intr:       make([]sim.Time, n),
@@ -89,9 +111,35 @@ func NewMachine(k *sim.Kernel, t *topo.Topology, cms []model.CostModel, c model.
 		waitq:      make([]sendq, n),
 		recvPend:   make([][]sim.Time, n),
 		maxFrame:   c.MaxPayload,
+		ks:         ks,
+		sh:         make([]mshard, len(ks)),
+	}
+	m.nets = NewNets(ks, pmap, t, n, c)
+	m.Net = m.nets[0]
+	if len(ks) > 1 {
+		m.pmap = pmap
+		m.par = NewPar(m.nets)
 	}
 	return m
 }
+
+// lpr returns the LP owning rank r.
+func (m *Machine) lpr(r int32) int32 {
+	if m.pmap == nil {
+		return 0
+	}
+	return m.pmap[r]
+}
+
+// LP returns the logical process rank r's events run on.
+func (m *Machine) LP(r int) int { return int(m.lpr(int32(r))) }
+
+// LPs returns the shard count (1 when monolithic).
+func (m *Machine) LPs() int { return len(m.ks) }
+
+// Par returns the window-barrier coupling for sim.LPSet, nil when
+// monolithic.
+func (m *Machine) Par() *Par { return m.par }
 
 // SetFaults installs the flow engine's degraded loss model from a fault
 // plan: a uniform per-frame drop probability p adds each flow's
@@ -122,7 +170,7 @@ func (m *Machine) SetFaults(fc fault.Config) error {
 	return nil
 }
 
-// Reset returns the machine (and its Net) to the just-built state.
+// Reset returns the machine (and its Nets) to the just-built state.
 func (m *Machine) Reset() {
 	for i := range m.Busy {
 		m.Busy[i] = 0
@@ -138,15 +186,61 @@ func (m *Machine) Reset() {
 		m.recvPend[i] = m.recvPend[i][:0]
 	}
 	m.lossP = 0
-	m.hostStall, m.recvStall, m.expRetr = 0, 0, 0
-	m.Net.Reset()
+	for i := range m.sh {
+		s := &m.sh[i]
+		s.hostStall, s.recvStall, s.expRetr = 0, 0, 0
+	}
+	for _, nt := range m.nets {
+		nt.Reset()
+	}
 }
 
 // Tokens reports the token-accounting totals: sends stalled for a send
 // token, deliveries stalled for a receive token, and the loss model's
-// expected retransmitted-frame count.
+// expected retransmitted-frame count. Summed over shards.
 func (m *Machine) Tokens() (hostStalls, recvStalls uint64, expRetransmits float64) {
-	return m.hostStall, m.recvStall, m.expRetr
+	for i := range m.sh {
+		s := &m.sh[i]
+		hostStalls += s.hostStall
+		recvStalls += s.recvStall
+		expRetransmits += s.expRetr
+	}
+	return
+}
+
+// SampleFCT enables flow-completion-time recording on every shard.
+func (m *Machine) SampleFCT(on bool) {
+	for _, nt := range m.nets {
+		nt.SampleFCT(on)
+	}
+}
+
+// FCTs returns the recorded flow completion times, shard-concatenated
+// in LP order (callers summarize, which sorts).
+func (m *Machine) FCTs() []sim.Time {
+	if len(m.nets) == 1 {
+		return m.Net.FCTs()
+	}
+	var all []sim.Time
+	for _, nt := range m.nets {
+		all = append(all, nt.FCTs()...)
+	}
+	return all
+}
+
+// NetStats sums the per-shard substrate counters. started, delayed and
+// delayTotal are exact (each flow counts once, at its source shard);
+// maxActive is the sum of per-shard peaks, an upper bound on the true
+// concurrent peak since the shards need not peak at the same instant.
+func (m *Machine) NetStats() (started uint64, maxActive int, delayed uint64, delayTotal sim.Time) {
+	for _, nt := range m.nets {
+		s, ma, d, dt := nt.Stats()
+		started += s
+		maxActive += ma
+		delayed += d
+		delayTotal += dt
+	}
+	return
 }
 
 // frames returns the wire-frame count of a payload (gm fragments at
@@ -177,7 +271,11 @@ const (
 )
 
 // msg is one in-flight Send: a pooled Runner for its NIC injection
-// instant and the Handler for its own flow completion.
+// instant and the Handler for its own flow completion. When the flow
+// crosses LPs the completion splits: FlowSrcEvent returns the send
+// token on the source LP at the bottleneck-crossing time, then
+// FlowEvent runs the destination side on the destination LP at the
+// delivery time (the barrier between those windows orders the two).
 type msg struct {
 	m       *Machine
 	src     int32
@@ -186,6 +284,7 @@ type msg struct {
 	extra   sim.Time
 	h       Handler
 	tag     uint64
+	split   bool // source side already ran via FlowSrcEvent
 }
 
 // RunEvent fires at the source NIC's injection instant: take a send
@@ -193,7 +292,7 @@ type msg struct {
 func (ms *msg) RunEvent() {
 	m := ms.m
 	if int(m.outst[ms.src]) >= m.SendTokens {
-		m.hostStall++
+		m.sh[m.lpr(ms.src)].hostStall++
 		m.waitq[ms.src].q = append(m.waitq[ms.src].q, ms)
 		return
 	}
@@ -205,21 +304,21 @@ func (m *Machine) launch(ms *msg) {
 	m.outst[ms.src]++
 	if ms.src == ms.dst {
 		// Loopback never crosses the fabric: the NIC deposits locally.
-		ms.FlowEvent(0, m.K.Now())
+		ms.FlowEvent(0, m.kOf(ms.src).Now())
 		return
 	}
 	wire := int(ms.payload) + HeaderBytes*m.frames(int(ms.payload))
-	m.Net.Start(int(ms.src), int(ms.dst), wire, ms.extra, ms, 0)
+	m.nets[m.lpr(ms.src)].Start(int(ms.src), int(ms.dst), wire, ms.extra, ms, 0)
 }
 
-// FlowEvent completes ms's transfer at time end: return the send token
-// (launching the next queued send, if any), serialize through the
-// destination NIC under the receive-token gate, and hand the delivery
-// time to the user handler.
-func (ms *msg) FlowEvent(_ uint64, end sim.Time) {
-	m := ms.m
-	m.outst[ms.src]--
-	if q := &m.waitq[ms.src]; q.h < len(q.q) {
+// kOf returns the kernel rank r's events run on.
+func (m *Machine) kOf(r int32) *sim.Kernel { return m.ks[m.lpr(r)] }
+
+// tokenDone returns src's send token and launches the next queued
+// send, if any.
+func (m *Machine) tokenDone(src int32) {
+	m.outst[src]--
+	if q := &m.waitq[src]; q.h < len(q.q) {
 		next := q.q[q.h]
 		q.q[q.h] = nil
 		q.h++
@@ -227,6 +326,26 @@ func (ms *msg) FlowEvent(_ uint64, end sim.Time) {
 			q.q, q.h = q.q[:0], 0
 		}
 		m.launch(next)
+	}
+}
+
+// FlowSrcEvent runs the source half of a cross-LP completion: the
+// transfer has cleared its bottleneck, so the send token comes back
+// and the next queued send launches — at the same virtual time the
+// monolithic engine would have returned it.
+func (ms *msg) FlowSrcEvent(_ uint64, _ sim.Time) {
+	ms.split = true
+	ms.m.tokenDone(ms.src)
+}
+
+// FlowEvent completes ms's transfer at time end: return the send token
+// (unless the source half already ran), serialize through the
+// destination NIC under the receive-token gate, and hand the delivery
+// time to the user handler.
+func (ms *msg) FlowEvent(_ uint64, end sim.Time) {
+	m := ms.m
+	if !ms.split {
+		m.tokenDone(ms.src)
 	}
 
 	dst := int(ms.dst)
@@ -236,7 +355,7 @@ func (ms *msg) FlowEvent(_ uint64, end sim.Time) {
 	}
 	if rp := m.recvPend[dst]; m.RecvTokens > 0 && len(rp) >= m.RecvTokens {
 		if g := rp[len(rp)-m.RecvTokens]; g > start {
-			m.recvStall++
+			m.sh[m.lpr(ms.dst)].recvStall++
 			start = g
 		}
 	}
@@ -245,7 +364,10 @@ func (ms *msg) FlowEvent(_ uint64, end sim.Time) {
 
 	h, tag := ms.h, ms.tag
 	ms.h = nil
-	m.mfree = append(m.mfree, ms)
+	// Recycle into the executing LP's pool: a split msg migrates from
+	// the source shard's pool to the destination's.
+	sh := &m.sh[m.lpr(ms.dst)]
+	sh.mfree = append(sh.mfree, ms)
 	h.FlowEvent(tag, tr)
 }
 
@@ -264,10 +386,11 @@ func (m *Machine) Send(at sim.Time, src, dst, payload int, h Handler, tag uint64
 	tn += cm.NICPkt(payload)
 	m.nicFree[src] = tn
 
+	sh := &m.sh[m.lpr(int32(src))]
 	var ms *msg
-	if n := len(m.mfree); n > 0 {
-		ms = m.mfree[n-1]
-		m.mfree = m.mfree[:n-1]
+	if n := len(sh.mfree); n > 0 {
+		ms = sh.mfree[n-1]
+		sh.mfree = sh.mfree[:n-1]
 	} else {
 		ms = &msg{m: m}
 	}
@@ -275,6 +398,7 @@ func (m *Machine) Send(at sim.Time, src, dst, payload int, h Handler, tag uint64
 	ms.payload = int32(payload)
 	ms.h, ms.tag = h, tag
 	ms.extra = 0
+	ms.split = false
 	if m.lossP != 0 && src != dst {
 		sw := 1
 		if m.Net.T != nil {
@@ -282,14 +406,15 @@ func (m *Machine) Send(at sim.Time, src, dst, payload int, h Handler, tag uint64
 		}
 		lat, ev := m.lossLat(m.frames(payload), sw)
 		ms.extra = lat
-		m.expRetr += ev
+		sh.expRetr += ev
 	}
 
-	d := tn - m.K.Now()
+	k := m.kOf(int32(src))
+	d := tn - k.Now()
 	if d < 0 {
 		panic("flow: Send in the virtual past")
 	}
-	m.K.AfterRunner(d, ms)
+	k.AfterRunner(d, ms)
 }
 
 // ReleaseRecv records that dst's host returned a delivered message's
@@ -303,37 +428,44 @@ func (m *Machine) ReleaseRecv(dst int, t sim.Time) {
 	m.recvPend[dst] = rp
 }
 
-// timer is a pooled WakeAt event.
+// timer is a pooled WakeAt event; lp is the shard whose pool owns it,
+// which is also the shard it fires on.
 type timer struct {
 	m   *Machine
 	h   Handler
 	tag uint64
 	at  sim.Time
+	lp  int32
 }
 
 // RunEvent delivers the wakeup.
 func (t *timer) RunEvent() {
 	m, h, tag, at := t.m, t.h, t.tag, t.at
 	t.h = nil
-	m.tfree = append(m.tfree, t)
+	m.sh[t.lp].tfree = append(m.sh[t.lp].tfree, t)
 	h.FlowEvent(tag, at)
 }
 
-// WakeAt schedules h.FlowEvent(tag, t) at virtual time t (>= now).
-func (m *Machine) WakeAt(t sim.Time, h Handler, tag uint64) {
+// WakeAt schedules h.FlowEvent(tag, t) at virtual time t (>= now) on
+// rank r's LP — the wakeup belongs to a rank's timeline, and under
+// partitioning it must fire where that rank's events run.
+func (m *Machine) WakeAt(r int, t sim.Time, h Handler, tag uint64) {
+	lp := m.lpr(int32(r))
+	sh := &m.sh[lp]
 	var tm *timer
-	if n := len(m.tfree); n > 0 {
-		tm = m.tfree[n-1]
-		m.tfree = m.tfree[:n-1]
+	if n := len(sh.tfree); n > 0 {
+		tm = sh.tfree[n-1]
+		sh.tfree = sh.tfree[:n-1]
 	} else {
 		tm = &timer{m: m}
 	}
-	tm.h, tm.tag, tm.at = h, tag, t
-	d := t - m.K.Now()
+	tm.h, tm.tag, tm.at, tm.lp = h, tag, t, lp
+	k := m.ks[lp]
+	d := t - k.Now()
 	if d < 0 {
 		panic("flow: WakeAt in the virtual past")
 	}
-	m.K.AfterRunner(d, tm)
+	k.AfterRunner(d, tm)
 }
 
 // HostRun charges cost on rank r's host timeline starting no earlier

@@ -37,6 +37,17 @@ type Handler interface {
 	FlowEvent(tag uint64, at sim.Time)
 }
 
+// SrcHandler is implemented by handlers that split a flow delivery
+// into a source half and a destination half when the flow crosses
+// logical processes: FlowSrcEvent runs in the source shard at the
+// bottleneck-crossing time (send-token return, next launch) while the
+// ordinary FlowEvent is shipped to the destination shard and runs
+// there at the delivery time.
+type SrcHandler interface {
+	Handler
+	FlowSrcEvent(tag uint64, at sim.Time)
+}
+
 // slotBits packs (flow id, route slot) into one int32 list reference:
 // ref = id<<slotBits | slot. Routes are at most 2 + topo.MaxHops links,
 // so 6 bits of slot leave 25 bits of flow id — far beyond any
@@ -46,6 +57,14 @@ const slotBits = 6
 // Flow is one in-flight transfer. Flows are pooled; all fields are
 // overwritten on reuse. A Flow is also the Runner for its own
 // completion event.
+//
+// Under LP partitioning a flow whose route crosses the spine exists
+// twice: the source shard holds the real flow (inject + up-links,
+// remaining-byte accounting, completion event) and the destination
+// shard holds a stub occupying the down-links and ejection. The two
+// halves exchange rate bounds through the window protocol: xcap is the
+// tightest rate the remote half has granted, xsent the last value
+// shipped to it, and (xlp, xid, xgen) address the remote half.
 type Flow struct {
 	nt        *Net
 	id        int32
@@ -57,12 +76,20 @@ type Flow struct {
 	updated   sim.Time
 	start     sim.Time
 	lat       sim.Time // constant pipeline latency added at completion
+	uncont    sim.Time // uncontended transfer time, fixed at Start
 	bytes     int64
 	h         Handler
 	tag       uint64
 	ev        sim.EventRef
 	mark      uint32 // closure-membership epoch
+	gen       uint32 // bumped on recycle; guards stale cross-LP messages
 	frozen    bool   // water-filling scratch
+	stub      bool    // remote half of a cross-LP flow (no completion event)
+	xlp       int32   // peer LP of a cross-LP flow, -1 when LP-local
+	xid       int32   // stub only: flow id in the source shard
+	xgen      uint32  // stub only: flow generation in the source shard
+	xcap      float64 // rate bound granted by the peer shard (+Inf local)
+	xsent     float64 // last rate (source) / offer (stub) shipped to peer
 }
 
 // RunEvent fires the flow's completion: the last byte has crossed the
@@ -90,12 +117,17 @@ type Net struct {
 	hopLat   sim.Time
 	maxRoute int
 
+	// Link state. Under LP partitioning these four slices are the
+	// SAME backing arrays in every shard, partitioned by ownership:
+	// element li is only ever read or written by the shard lpOf[li]
+	// belongs to, so sharing them is race-free and keeps the 1M-node
+	// footprint flat in the LP count.
 	head  []int32 // per link: packed ref of the first flow slot, -1 none
 	nf    []int32 // per link: active flows routed over it
 	lmark []uint32
 	lslot []int32 // link -> index into the current closure's clinks
 
-	flows []*Flow
+	flows []*Flow // shard-local: list refs on owned links index this pool
 	freef []int32
 	epoch uint32
 	path  topo.Path
@@ -105,6 +137,30 @@ type Net struct {
 	clinks []int32
 	resid  []float64
 	acnt   []int32
+	capped []*Flow // unfrozen flows with a finite peer rate bound
+
+	// Tightest-link min-heap over (residual/count, closure slot). An
+	// entry is valid only while its pushed version matches lver, so
+	// updates push fresh entries instead of re-heapifying in place.
+	hs   []float64
+	hl   []int32
+	hv   []int32
+	lver []int32
+
+	// LP partitioning (zero-valued / nil in the monolithic engine).
+	lp       int32
+	lps      int
+	pmap     []int32   // host -> owning LP
+	lpOf     []int32   // link -> owning LP
+	peers    []*Net    // all shards, indexed by LP
+	la       sim.Time  // conservative lookahead, 2·(WireProp+SwitchHop)
+	stubs    map[xkey]int32
+	outbox   []xmsg
+	oseq     uint64
+	nstubs   int
+	xfree    []*xbatch
+	dlv      []xdlv // deliveries deferred to the end of the current batch
+	scanFill bool   // test hook: route uncapped fills to the linear scan
 
 	active    int
 	started   uint64
@@ -149,6 +205,12 @@ func (nt *Net) Reset() {
 	if nt.active != 0 {
 		panic("flow: Reset with active flows")
 	}
+	if nt.nstubs != 0 {
+		panic("flow: Reset with live cross-LP stubs")
+	}
+	nt.outbox = nt.outbox[:0]
+	nt.dlv = nt.dlv[:0]
+	nt.oseq = 0
 	nt.started = 0
 	nt.maxActive = 0
 	nt.delayed = 0
@@ -194,18 +256,34 @@ func (nt *Net) RouteLinks(dst []int32, src, dstNode int) []int32 {
 // crossing latency is computed here. h.FlowEvent(tag, deliveredAt)
 // fires when the flow completes.
 func (nt *Net) Start(src, dst, wireBytes int, extraLat sim.Time, h Handler, tag uint64) {
+	xlp := int32(-1)
+	if nt.pmap != nil {
+		if d := nt.pmap[dst]; d != nt.lp {
+			xlp = d
+		}
+	}
 	f := nt.getFlow()
 	f.links = f.links[:0]
 	f.links = append(f.links, int32(2*src))
 	switches := 1
 	if nt.T != nil {
 		nt.T.Route(src, dst, &nt.path)
-		for i := 0; i < nt.path.N; i++ {
+		n := nt.path.N
+		if xlp >= 0 {
+			// Cross-spine flow: this shard owns only the climb half of
+			// the route (all up-links hang off the source's subtrees);
+			// the destination shard will grow a stub over the descent
+			// half and the ejection link when the xopen lands.
+			n = nt.path.N / 2
+		}
+		for i := 0; i < n; i++ {
 			f.links = append(f.links, int32(nt.base)+nt.path.Links[i])
 		}
 		switches = nt.path.Switches
 	}
-	f.links = append(f.links, int32(2*dst+1))
+	if xlp < 0 {
+		f.links = append(f.links, int32(2*dst+1))
+	}
 
 	now := nt.K.Now()
 	f.rate = -1
@@ -214,8 +292,16 @@ func (nt *Net) Start(src, dst, wireBytes int, extraLat sim.Time, h Handler, tag 
 	f.updated = now
 	f.start = now
 	f.lat = sim.Time(switches)*nt.hopLat + extraLat
+	f.uncont = sim.Time(math.Ceil(float64(wireBytes) / nt.capBns))
 	f.h = h
 	f.tag = tag
+	if xlp >= 0 {
+		f.xlp = xlp
+		// Announce before any rate emission so the stub exists when
+		// the first xrate applies (lower seq at the same barrier time).
+		nt.emit(xmsg{t: now + nt.la, kind: kXOpen, dst: xlp,
+			id: f.id, gen: f.gen, a: int32(src), b: int32(dst)})
+	}
 
 	alone := true
 	for s, li := range f.links {
@@ -234,7 +320,7 @@ func (nt *Net) Start(src, dst, wireBytes int, extraLat sim.Time, h Handler, tag 
 		nt.setRate(f, nt.capBns, now)
 		return
 	}
-	nt.epoch++
+	nt.bumpEpoch()
 	nt.cflows = nt.cflows[:0]
 	f.mark = nt.epoch
 	nt.cflows = append(nt.cflows, f)
@@ -245,7 +331,7 @@ func (nt *Net) Start(src, dst, wireBytes int, extraLat sim.Time, h Handler, tag 
 // behind, deliver, recycle.
 func (nt *Net) finish(f *Flow) {
 	now := nt.K.Now()
-	nt.epoch++
+	nt.bumpEpoch()
 	nt.cflows = nt.cflows[:0]
 	needs := false
 	for s, li := range f.links {
@@ -268,31 +354,72 @@ func (nt *Net) finish(f *Flow) {
 	}
 
 	end := now + f.lat
-	if want := now - f.start; true {
-		uncont := sim.Time(math.Ceil(float64(f.bytes) / nt.capBns))
-		if want > uncont {
-			nt.delayed++
-			nt.delayTotal += want - uncont
-		}
+	want := now - f.start
+	if want > f.uncont {
+		nt.delayed++
+		nt.delayTotal += want - f.uncont
 	}
 	if nt.sampleFCT {
 		nt.fct = append(nt.fct, end-f.start)
 	}
 	h, tag := f.h, f.tag
+	if f.xlp >= 0 {
+		// Cross-LP flow: the source side (token return, next launch)
+		// runs here at the bottleneck-crossing time, exactly when the
+		// monolithic engine would have run it; the destination side is
+		// shipped to the peer shard and lands at the delivery time —
+		// end > now + la, so the message always clears the lookahead.
+		if sh, ok := h.(SrcHandler); ok {
+			sh.FlowSrcEvent(tag, now)
+		}
+		nt.emit(xmsg{t: end, kind: kXDone, dst: f.xlp,
+			id: f.id, gen: f.gen, h: h, tag: tag})
+		nt.putFlow(f)
+		return
+	}
 	nt.putFlow(f)
 	h.FlowEvent(tag, end)
+}
+
+// bumpEpoch advances the mark epoch for the next closure expansion.
+// On uint32 wraparound every surviving mark from 2³² reshares ago
+// could falsely match a fresh epoch, so owned link marks and all
+// pooled flow marks are cleared before restarting at 1.
+func (nt *Net) bumpEpoch() {
+	nt.epoch++
+	if nt.epoch == 0 {
+		for i := range nt.lmark {
+			if nt.lpOf == nil || nt.lpOf[i] == nt.lp {
+				nt.lmark[i] = 0
+			}
+		}
+		for _, f := range nt.flows {
+			f.mark = 0
+		}
+		nt.epoch = 1
+	}
 }
 
 // reshare runs exact max-min water-filling over the connected component
 // seeded in nt.cflows (marked with the current epoch): expand the
 // closure over shared links, then repeatedly freeze the flows of the
 // tightest link at its equal share. Components are small in practice —
-// a handful of flows meeting at a fan-in link — so the scratch slices
-// stay tiny; correctness does not depend on that.
+// a handful of flows meeting at a fan-in link — but collective fan-in
+// at the largest envelopes produces components with thousands of
+// links, so the tightest-link search runs on a min-heap (near-linear)
+// rather than a per-round scan (quadratic).
 func (nt *Net) reshare(now sim.Time) {
 	nt.clinks = nt.clinks[:0]
+	w := 0
 	for i := 0; i < len(nt.cflows); i++ {
 		f := nt.cflows[i]
+		if f.mark != nt.epoch {
+			// Seeded earlier in a cross-LP batch, then torn down by a
+			// later xdone in the same batch (mark zeroed on teardown).
+			continue
+		}
+		nt.cflows[w] = f
+		w++
 		f.frozen = false
 		for _, li := range f.links {
 			if nt.lmark[li] == nt.epoch {
@@ -311,6 +438,7 @@ func (nt *Net) reshare(now sim.Time) {
 			}
 		}
 	}
+	nt.cflows = nt.cflows[:w]
 
 	nl := len(nt.clinks)
 	if cap(nt.resid) < nl {
@@ -324,6 +452,122 @@ func (nt *Net) reshare(now sim.Time) {
 		nt.acnt[ci] = nt.nf[li]
 	}
 
+	nt.capped = nt.capped[:0]
+	if nt.lps > 1 {
+		for _, f := range nt.cflows {
+			if !math.IsInf(f.xcap, 1) {
+				nt.capped = append(nt.capped, f)
+			}
+		}
+	}
+	if nt.scanFill && len(nt.capped) == 0 {
+		nt.fillScan(now)
+	} else {
+		nt.fillHeap(now)
+	}
+	if nt.lps > 1 {
+		nt.shipOffers(now)
+	}
+}
+
+// fillHeap freezes the closure's flows by repeatedly taking the
+// tightest constraint: the smallest per-flow share among the links
+// still carrying unfrozen flows, or the smallest peer rate bound among
+// the still-unfrozen capped flows, whichever is lower. Link shares
+// live in a lazy min-heap — every residual/count update pushes a fresh
+// (share, slot) entry and bumps the slot's version, so stale entries
+// are skimmed at peek time instead of re-heapified. Selection order is
+// identical to the linear scan (strictly-smaller wins, lowest closure
+// slot on ties), which keeps the single-LP engine byte-identical.
+func (nt *Net) fillHeap(now sim.Time) {
+	nl := len(nt.clinks)
+	if cap(nt.lver) < nl {
+		nt.lver = make([]int32, nl)
+	}
+	nt.lver = nt.lver[:nl]
+	nt.hs = nt.hs[:0]
+	nt.hl = nt.hl[:0]
+	nt.hv = nt.hv[:0]
+	for ci := range nt.clinks {
+		nt.lver[ci] = 0
+		if nt.acnt[ci] > 0 {
+			nt.hpush(nt.resid[ci]/float64(nt.acnt[ci]), int32(ci))
+		}
+	}
+
+	unfrozen := len(nt.cflows)
+	for unfrozen > 0 {
+		best, bs := nt.hpeek()
+		var cf *Flow
+		w := 0
+		for _, f := range nt.capped {
+			if f.frozen {
+				continue
+			}
+			nt.capped[w] = f
+			w++
+			if cf == nil || f.xcap < cf.xcap {
+				cf = f
+			}
+		}
+		nt.capped = nt.capped[:w]
+		if cf != nil && (best < 0 || cf.xcap < bs) {
+			// The peer shard's grant binds before any local link does:
+			// freeze this flow at the granted rate and release the
+			// rest of its local shares back into the water level.
+			cf.frozen = true
+			unfrozen--
+			nt.setRate(cf, cf.xcap, now)
+			nt.consume(cf, cf.xcap)
+			continue
+		}
+		if best < 0 {
+			// Defensive: every remaining flow's links are exhausted
+			// (cannot happen — each unfrozen flow keeps its links'
+			// counts positive). Freeze at full rate and stop.
+			for _, f := range nt.cflows {
+				if !f.frozen {
+					f.frozen = true
+					nt.setRate(f, nt.capBns, now)
+				}
+			}
+			break
+		}
+		li := nt.clinks[best]
+		for ref := nt.head[li]; ref >= 0; {
+			f := nt.flows[ref>>slotBits]
+			ref = f.next[ref&(1<<slotBits-1)]
+			if f.frozen {
+				continue
+			}
+			f.frozen = true
+			unfrozen--
+			nt.setRate(f, bs, now)
+			nt.consume(f, bs)
+		}
+	}
+}
+
+// consume charges rate r to every link on f's route and refreshes
+// their heap entries.
+func (nt *Net) consume(f *Flow, r float64) {
+	for _, lj := range f.links {
+		cj := nt.lslot[lj]
+		nt.resid[cj] -= r
+		nt.acnt[cj]--
+		nt.lver[cj]++
+		if nt.acnt[cj] > 0 {
+			nt.hpush(nt.resid[cj]/float64(nt.acnt[cj]), cj)
+		}
+	}
+}
+
+// fillScan is the pre-heap linear-scan water-fill, kept as the
+// reference implementation for the randomized property tests and the
+// BenchmarkReshare baseline (enable with nt.scanFill). It does not
+// understand peer rate bounds, so capped closures always take the heap
+// path.
+func (nt *Net) fillScan(now sim.Time) {
 	unfrozen := len(nt.cflows)
 	for unfrozen > 0 {
 		best := -1
@@ -338,9 +582,6 @@ func (nt *Net) reshare(now sim.Time) {
 			}
 		}
 		if best < 0 {
-			// Defensive: every remaining flow's links are exhausted
-			// (cannot happen — each unfrozen flow keeps its links'
-			// counts positive). Freeze at full rate and stop.
 			for _, f := range nt.cflows {
 				if !f.frozen {
 					f.frozen = true
@@ -368,10 +609,112 @@ func (nt *Net) reshare(now sim.Time) {
 	}
 }
 
+// shipOffers tells each stub's source shard how fast the destination
+// half of its flow could go: the stub's frozen share plus the smallest
+// residual capacity left on its links. Offers are emitted only when
+// they move, so a settled component goes quiet at the barrier.
+func (nt *Net) shipOffers(now sim.Time) {
+	for _, f := range nt.cflows {
+		if !f.stub {
+			continue
+		}
+		offer := math.Inf(1)
+		for _, li := range f.links {
+			if r := nt.resid[nt.lslot[li]]; r < offer {
+				offer = r
+			}
+		}
+		offer += f.rate
+		if offer != f.xsent {
+			f.xsent = offer
+			nt.emit(xmsg{t: now + nt.la, kind: kXCap, dst: f.xlp,
+				id: f.xid, gen: f.xgen, rate: offer})
+		}
+	}
+}
+
+// hless orders heap entries by (share, closure slot): the scan's
+// "first strictly smaller" rule picks the lowest slot among equal
+// minima, and the heap must agree for byte-identical freeze order.
+func (nt *Net) hless(i, j int) bool {
+	if nt.hs[i] != nt.hs[j] {
+		return nt.hs[i] < nt.hs[j]
+	}
+	return nt.hl[i] < nt.hl[j]
+}
+
+func (nt *Net) hswap(i, j int) {
+	nt.hs[i], nt.hs[j] = nt.hs[j], nt.hs[i]
+	nt.hl[i], nt.hl[j] = nt.hl[j], nt.hl[i]
+	nt.hv[i], nt.hv[j] = nt.hv[j], nt.hv[i]
+}
+
+// hpush records the current share of closure slot ci.
+func (nt *Net) hpush(s float64, ci int32) {
+	nt.hs = append(nt.hs, s)
+	nt.hl = append(nt.hl, ci)
+	nt.hv = append(nt.hv, nt.lver[ci])
+	for i := len(nt.hs) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !nt.hless(i, p) {
+			return
+		}
+		nt.hswap(i, p)
+		i = p
+	}
+}
+
+// hpeek skims stale entries off the top and returns the tightest live
+// (slot, share), or (-1, 0) when no link carries unfrozen flows. The
+// live top is left in place: a cap-bound freeze leaves it valid, and a
+// link-round freeze invalidates it through consume's version bumps.
+func (nt *Net) hpeek() (int, float64) {
+	for len(nt.hs) > 0 {
+		ci := nt.hl[0]
+		if nt.hv[0] == nt.lver[ci] {
+			return int(ci), nt.hs[0]
+		}
+		nt.hpop()
+	}
+	return -1, 0
+}
+
+func (nt *Net) hpop() {
+	n := len(nt.hs) - 1
+	nt.hswap(0, n)
+	nt.hs = nt.hs[:n]
+	nt.hl = nt.hl[:n]
+	nt.hv = nt.hv[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && nt.hless(c+1, c) {
+			c++
+		}
+		if !nt.hless(c, i) {
+			return
+		}
+		nt.hswap(i, c)
+		i = c
+	}
+}
+
 // setRate advances f's remaining bytes to now at the old rate, applies
 // the new rate, and reschedules the completion event if the rate moved.
+// Stubs carry no bytes and no completion event — their rate is pure
+// occupancy on the destination half's links. A cross-LP source flow
+// ships every rate move to its stub so the peer shard's occupancy
+// tracks it within one lookahead window.
 func (nt *Net) setRate(f *Flow, r float64, now sim.Time) {
 	if f.rate == r {
+		return
+	}
+	if f.stub {
+		f.rate = r
+		f.updated = now
 		return
 	}
 	if f.rate > 0 {
@@ -384,6 +727,11 @@ func (nt *Net) setRate(f *Flow, r float64, now sim.Time) {
 	nt.K.CancelRunner(f.ev)
 	f.rate = r
 	f.ev = nt.K.AfterRunnerRef(sim.Time(math.Ceil(f.remaining/r)), f)
+	if f.xlp >= 0 && f.rate != f.xsent {
+		f.xsent = f.rate
+		nt.emit(xmsg{t: now + nt.la, kind: kXRate, dst: f.xlp,
+			id: f.id, gen: f.gen, rate: f.rate})
+	}
 }
 
 // link inserts f's slot s at the head of link li's flow list.
@@ -421,25 +769,33 @@ func (nt *Net) unlink(f *Flow, s int, li int32) {
 // getFlow takes a Flow from the pool, allocating route-sized slices on
 // first use.
 func (nt *Net) getFlow() *Flow {
+	var f *Flow
 	if n := len(nt.freef); n > 0 {
 		id := nt.freef[n-1]
 		nt.freef = nt.freef[:n-1]
-		return nt.flows[id]
+		f = nt.flows[id]
+	} else {
+		f = &Flow{
+			nt:    nt,
+			id:    int32(len(nt.flows)),
+			links: make([]int32, 0, nt.maxRoute),
+			next:  make([]int32, nt.maxRoute),
+			prev:  make([]int32, nt.maxRoute),
+		}
+		nt.flows = append(nt.flows, f)
 	}
-	f := &Flow{
-		nt:    nt,
-		id:    int32(len(nt.flows)),
-		links: make([]int32, 0, nt.maxRoute),
-		next:  make([]int32, nt.maxRoute),
-		prev:  make([]int32, nt.maxRoute),
-	}
-	nt.flows = append(nt.flows, f)
+	f.stub = false
+	f.xlp = -1
+	f.xcap = math.Inf(1)
+	f.xsent = -1
 	return f
 }
 
-// putFlow recycles a completed flow.
+// putFlow recycles a completed flow. The generation bump invalidates
+// any cross-LP message still in flight addressed to this id.
 func (nt *Net) putFlow(f *Flow) {
 	f.h = nil
 	f.ev = sim.EventRef{}
+	f.gen++
 	nt.freef = append(nt.freef, f.id)
 }

@@ -33,7 +33,7 @@ func NewSpinner(m *Machine, n int, done func(r int, t, intr sim.Time)) *Spinner 
 func (s *Spinner) Start(r int, t, budget sim.Time) {
 	s.st[r] = spinState{start: t, budget: budget, intrMark: s.m.Intr[r]}
 	s.m.HostRun(r, t, 0)
-	s.m.WakeAt(t+budget, s, uint64(r))
+	s.m.WakeAt(r, t+budget, s, uint64(r))
 }
 
 // FlowEvent is the spin-end check: if handler time accrued since the
@@ -44,7 +44,7 @@ func (s *Spinner) FlowEvent(tag uint64, at sim.Time) {
 	st := &s.st[r]
 	want := st.start + st.budget + (s.m.Intr[r] - st.intrMark)
 	if want > at {
-		s.m.WakeAt(want, s, tag)
+		s.m.WakeAt(r, want, s, tag)
 		return
 	}
 	s.m.HostRun(r, at, 0)

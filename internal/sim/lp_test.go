@@ -149,6 +149,42 @@ func TestLPSetDeadlockReportNamesLP(t *testing.T) {
 	NewLPSet(h.ks, 10*time.Microsecond, h.exchange).Run()
 }
 
+// TestLPSetRunnerOnly: the flow engine's shape — no processes or
+// daemons anywhere, work seeded as runner events before Run, new
+// cross-LP events minted only by the exchange hook. The set must keep
+// opening windows while any kernel holds events and terminate at the
+// last event's time once the relay goes quiet.
+func TestLPSetRunnerOnly(t *testing.T) {
+	const L = Time(100)
+	const hops = 25
+	run := func() (Time, int) {
+		h := newLPHarness(2, 1)
+		count := 0
+		var relay func(lp int)
+		relay = func(lp int) {
+			count++
+			if count >= hops {
+				return
+			}
+			h.post(lp, 1-lp, h.ks[lp].Now()+L, func() { relay(1 - lp) })
+		}
+		h.ks[0].ScheduleRunnerAt(0, fnRunner(func() { relay(0) }))
+		return NewLPSet(h.ks, L, h.exchange).Run(), count
+	}
+	end, count := run()
+	if count != hops {
+		t.Errorf("relay ran %d hops, want %d", count, hops)
+	}
+	if want := Time((hops - 1)) * L; end != want {
+		t.Errorf("end = %v, want %v", end, want)
+	}
+	for i := 0; i < 10; i++ {
+		if again, _ := run(); again != end {
+			t.Fatalf("run %d ended at %v, first at %v", i, again, end)
+		}
+	}
+}
+
 // TestLPSetPanicPropagates: a panic on any LP surfaces from LPSet.Run,
 // like Kernel.Run does for the monolithic kernel.
 func TestLPSetPanicPropagates(t *testing.T) {

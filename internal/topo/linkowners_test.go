@@ -1,0 +1,70 @@
+package topo
+
+import (
+	"testing"
+)
+
+// TestLinkOwnersCoverRoutes is the property the flow engine's LP
+// sharding rests on: for every host pair, the climb half of the route
+// lies on links owned by the source's LP and the descent half on links
+// owned by the destination's LP. Subtrees never straddle pods, so the
+// ownership map is well-defined for any pod-aligned partition.
+func TestLinkOwnersCoverRoutes(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  Spec
+		n     int
+		parts int
+	}{
+		{"fattree", Spec{Kind: FatTree, K: 4}, 16, 2},
+		{"fattree-wide", Spec{Kind: FatTree, K: 16}, 512, 4},
+		{"leafspine", Spec{Kind: LeafSpine, K: 8}, 32, 4},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tp := Build(tc.spec, tc.n)
+			pmap, lps := tp.Partition(tc.parts)
+			if lps < 2 {
+				t.Fatalf("partition clamped to %d LPs", lps)
+			}
+			own := tp.LinkOwners(pmap)
+			var p Path
+			for src := 0; src < tc.n; src++ {
+				for dst := 0; dst < tc.n; dst++ {
+					if src == dst {
+						continue
+					}
+					tp.Route(src, dst, &p)
+					if p.N%2 != 0 {
+						t.Fatalf("%d->%d: odd route length %d", src, dst, p.N)
+					}
+					for i := 0; i < p.N/2; i++ {
+						if got := own[p.Links[i]]; got != pmap[src] {
+							t.Fatalf("%d->%d: up-link %d owned by LP %d, want source LP %d",
+								src, dst, p.Links[i], got, pmap[src])
+						}
+					}
+					for i := p.N / 2; i < p.N; i++ {
+						if got := own[p.Links[i]]; got != pmap[dst] {
+							t.Fatalf("%d->%d: down-link %d owned by LP %d, want destination LP %d",
+								src, dst, p.Links[i], got, pmap[dst])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLinkOwnersRejectsWrongSize pins the guard against a partition
+// map built for a different host count.
+func TestLinkOwnersRejectsWrongSize(t *testing.T) {
+	tp := Build(Spec{Kind: FatTree, K: 4}, 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("short partition map accepted")
+		}
+	}()
+	tp.LinkOwners(make([]int32, 8))
+}

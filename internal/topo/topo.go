@@ -389,6 +389,32 @@ func (t *Topology) Partition(parts int) ([]int32, int) {
 	return pmap, parts
 }
 
+// LinkOwners labels every directed inter-switch link with the logical
+// process that owns it under pmap: the LP of the hosts in the subtree
+// the link hangs off. Well-defined because Partition assigns whole pods
+// — and therefore whole subtrees of pow[l+1] hosts, which never
+// straddle a pod — to one LP. Combined with the up/down route shape
+// (up-links in the source's subtrees, down-links in the destination's),
+// this is the ownership map a pod-partitioned flow substrate shards
+// its link state by.
+func (t *Topology) LinkOwners(pmap []int32) []int32 {
+	if len(pmap) != t.n {
+		panic(fmt.Sprintf("topo: partition map for %d hosts on a %d-host topology", len(pmap), t.n))
+	}
+	own := make([]int32, t.nLinks)
+	for l := 0; l < t.levels-1; l++ {
+		cnt := (t.n + t.pow[l+1] - 1) / t.pow[l+1]
+		for s := 0; s < cnt; s++ {
+			lp := pmap[s*t.pow[l+1]]
+			for j := 0; j < t.lcap[l]; j++ {
+				own[t.upBase[l]+s*t.lcap[l]+j] = lp
+				own[t.dnBase[l]+s*t.lcap[l]+j] = lp
+			}
+		}
+	}
+	return own
+}
+
 // climb returns the number of up-links on the route src -> dst: the
 // lowest tier at which both share a subtree, clamped at the top tier
 // (the clamp is what lets LeafSpine's spines see every leaf).

@@ -39,6 +39,7 @@ func flowRun(cfg Config, style Style) Result {
 		delays: delays,
 		rk:     make([]appRankState, size),
 		calls:  make([]sim.Time, size),
+		fin:    make([]bool, size),
 	}
 	d.sp = flow.NewSpinner(m, size, d.spinDone)
 	fc.Done = d.opDone
@@ -49,9 +50,15 @@ func flowRun(cfg Config, style Style) Result {
 		t0 := m.HostRun(r, 0, sim.Time(cm.Pin(64*cm.C.EagerThreshold)))
 		d.startIter(r, t0)
 	}
-	wall := cl.K.Run()
-	if d.done != size {
-		panic(fmt.Sprintf("workload: flow run drained with %d/%d ranks finished", d.done, size))
+	wall := cl.Drain()
+	done := 0
+	for _, f := range d.fin {
+		if f {
+			done++
+		}
+	}
+	if done != size {
+		panic(fmt.Sprintf("workload: flow run drained with %d/%d ranks finished", done, size))
 	}
 
 	// Rank 0's observed results: the flow engine does not carry data,
@@ -97,7 +104,9 @@ type flowApp struct {
 	delays [][]sim.Time
 	rk     []appRankState
 	calls  []sim.Time
-	done   int
+	// fin is per-rank (not a shared counter) so concurrent LP windows
+	// never write the same word; the driver counts it after the drain.
+	fin []bool
 }
 
 func (d *flowApp) startIter(r int, t sim.Time) {
@@ -212,7 +221,7 @@ func (d *flowApp) opDone(r int, t sim.Time) {
 		st.phase = 3
 		d.sp.Start(r, t, 2*d.cfg.Compute)
 	case 4:
-		d.done++
+		d.fin[r] = true
 	default:
 		panic(fmt.Sprintf("workload: flow rank %d completed an op in phase %d", r, st.phase))
 	}
