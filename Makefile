@@ -49,6 +49,28 @@ profile:
 bench-kernel:
 	go test ./internal/bench -run '^$$' -bench BenchmarkKernelEventsPerSec -benchtime 3x -count 1
 
+# Run the scenario service locally (POST specs to :8080/run).
+.PHONY: serve
+serve:
+	go run ./cmd/abserve -addr :8080 -cachedir /tmp/abserve-cache
+
+# Performance-regression gate: rerun the kernel microbenchmark and fail
+# if events/sec or allocs/event degrade beyond a CI95-derived noise band
+# vs the numbers committed in BENCH_kernel.json. allocs/event is
+# machine-independent and gated tightly; events/sec is host-dependent,
+# so its band is generous — the gate catches collapses, not hosts.
+.PHONY: gate
+gate:
+	go run ./cmd/abgate -bench BENCH_kernel.json -v
+
+# Load-test the scenario service: an in-process server, 8 concurrent
+# clients, 150 requests over a small cycling scenario set — cold
+# computes, warm cache hits and single-flight dedups in one sub-minute
+# run. Fails on any non-200 or if the cache never warmed.
+.PHONY: loadtest
+loadtest:
+	go run ./cmd/abload -n 150 -c 8 -nodes 64
+
 # Paranoia target: the figure set must be byte-identical serial vs
 # parallel. Slow; the same property is asserted by TestParallelDeterminism.
 .PHONY: determinism

@@ -1,0 +1,143 @@
+// Command abgate is the performance-regression gate: it reruns the
+// kernel microbenchmark and compares the result against the numbers
+// committed in BENCH_kernel.json, failing (exit 1) when a metric
+// degrades beyond a noise band derived from the fresh run's own 95%
+// confidence interval.
+//
+// Usage:
+//
+//	abgate [-bench BENCH_kernel.json] [-reps 5] [-iters 50]
+//	       [-slack 0.60] [-allocslack 0.25] [-v]
+//
+// Two metrics are gated, with very different noise characters:
+//
+//   - allocs_per_event is machine-independent (a property of the code,
+//     not the host), so it gets the tight -allocslack band: fresh mean
+//     may exceed committed by at most allocslack + 2·relCI95.
+//   - events_per_sec is machine-dependent (the committed number was
+//     measured on whatever hardware cut that commit), so -slack is
+//     generous by default: the gate only fires on a collapse, not on
+//     host-to-host variance.
+//
+// Each mode (ab, nab) runs -reps times; the comparison uses the mean
+// and widens the band by twice the fresh run's relative CI95 half-width
+// so a noisy host does not fail spuriously.
+//
+// Keep -iters at the committed file's iteration count (50 for the
+// checked-in BENCH_kernel.json): fixed setup allocations amortize over
+// iterations, so allocs_per_event is only comparable between runs of
+// the same length.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"abred/internal/bench"
+	"abred/internal/stats"
+)
+
+// committed is the slice of BENCH_kernel.json the gate reads.
+type committed struct {
+	AB  bench.KernelMicrobenchResult `json:"kernel_microbench_ab"`
+	NAB bench.KernelMicrobenchResult `json:"kernel_microbench_nab"`
+}
+
+// fresh is one mode's re-measured distribution.
+type fresh struct {
+	EventsPerSec   stats.FloatSummary
+	AllocsPerEvent stats.FloatSummary
+}
+
+func measure(mode bench.Mode, reps, iters int, verbose bool) fresh {
+	eps := make([]float64, 0, reps)
+	ape := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		res := bench.KernelMicrobench(mode, iters, 20030701)
+		eps = append(eps, res.EventsPerSec)
+		ape = append(ape, res.AllocsPerEvent)
+		if verbose {
+			fmt.Fprintf(os.Stderr, "abgate: %s rep %d: %.0f events/s, %.4f allocs/event\n",
+				mode, r, res.EventsPerSec, res.AllocsPerEvent)
+		}
+	}
+	return fresh{
+		EventsPerSec:   stats.SummarizeFloats(eps),
+		AllocsPerEvent: stats.SummarizeFloats(ape),
+	}
+}
+
+// gate checks one metric. For higherBetter metrics (throughput) the
+// fresh mean must stay above committed·(1 − band); for lowerBetter
+// (allocations) below committed·(1 + band). The band widens by twice
+// the fresh distribution's relative CI95 so measurement noise cannot
+// fail the gate on its own.
+func gate(name string, committed float64, got stats.FloatSummary, slack float64, higherBetter bool) error {
+	band := slack + 2*got.RelCI95()
+	if higherBetter {
+		floor := committed * (1 - band)
+		fmt.Printf("%-28s committed %12.2f  fresh %12.2f  floor %12.2f (band %.1f%%)\n",
+			name, committed, got.Mean, floor, band*100)
+		if got.Mean < floor {
+			return fmt.Errorf("%s regressed: %.2f < floor %.2f", name, got.Mean, floor)
+		}
+		return nil
+	}
+	ceil := committed * (1 + band)
+	fmt.Printf("%-28s committed %12.4f  fresh %12.4f  ceil  %12.4f (band %.1f%%)\n",
+		name, committed, got.Mean, ceil, band*100)
+	if got.Mean > ceil {
+		return fmt.Errorf("%s regressed: %.4f > ceiling %.4f", name, got.Mean, ceil)
+	}
+	return nil
+}
+
+func main() {
+	benchFile := flag.String("bench", "BENCH_kernel.json", "committed benchmark numbers to gate against")
+	reps := flag.Int("reps", 5, "measurement repetitions per mode")
+	iters := flag.Int("iters", 50, "benchmark iterations per repetition")
+	slack := flag.Float64("slack", 0.60, "allowed events/sec shortfall vs committed (machine-dependent metric)")
+	allocSlack := flag.Float64("allocslack", 0.25, "allowed allocs/event excess vs committed (machine-independent metric)")
+	verbose := flag.Bool("v", false, "log per-repetition measurements")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*benchFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abgate:", err)
+		os.Exit(1)
+	}
+	var c committed
+	if err := json.Unmarshal(raw, &c); err != nil {
+		fmt.Fprintln(os.Stderr, "abgate: parse", *benchFile+":", err)
+		os.Exit(1)
+	}
+	if c.AB.EventsPerSec == 0 || c.NAB.EventsPerSec == 0 {
+		fmt.Fprintf(os.Stderr, "abgate: %s has no kernel_microbench_{ab,nab} numbers\n", *benchFile)
+		os.Exit(1)
+	}
+
+	var failures []error
+	check := func(err error) {
+		if err != nil {
+			failures = append(failures, err)
+		}
+	}
+	for _, m := range []struct {
+		mode bench.Mode
+		ref  bench.KernelMicrobenchResult
+	}{{bench.AppBypass, c.AB}, {bench.NonAppBypass, c.NAB}} {
+		f := measure(m.mode, *reps, *iters, *verbose)
+		check(gate(m.mode.String()+" events_per_sec", m.ref.EventsPerSec, f.EventsPerSec, *slack, true))
+		check(gate(m.mode.String()+" allocs_per_event", m.ref.AllocsPerEvent, f.AllocsPerEvent, *allocSlack, false))
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "abgate: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("abgate: PASS")
+}

@@ -1,0 +1,127 @@
+// Command abload load-tests the scenario service: -c concurrent
+// clients issue -n POSTs to /run, cycling through a small scenario set
+// so the run exercises cold computes, warm cache hits and single-flight
+// dedups together. It reports the latency distribution and the X-Cache
+// breakdown, and exits non-zero if any request fails.
+//
+// Usage:
+//
+//	abload [-url http://host:8080] [-n 150] [-c 8] [-nodes 64]
+//
+// With -url empty (the default) abload starts an in-process server on a
+// loopback listener, so `make loadtest` is a single self-contained
+// process — no daemon management, no port conflicts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"abred/internal/serve"
+	"abred/internal/stats"
+)
+
+func main() {
+	url := flag.String("url", "", "server base URL (empty = start an in-process server)")
+	n := flag.Int("n", 150, "total requests")
+	c := flag.Int("c", 8, "concurrent clients")
+	nodes := flag.Int("nodes", 64, "cluster size of the generated scenarios")
+	flag.Parse()
+
+	base := *url
+	if base == "" {
+		srv, err := serve.New(serve.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abload:", err)
+			os.Exit(1)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		defer func() { hs.Close(); srv.Close() }()
+		base = hs.URL
+		fmt.Fprintf(os.Stderr, "abload: in-process server at %s\n", base)
+	}
+
+	// The scenario set: few distinct keys relative to -n, so the steady
+	// state is cache-dominated with a burst of dedups at the start.
+	specs := []string{
+		fmt.Sprintf(`{"nodes":%d,"cluster":"uniform","iters":5,"minreps":2,"maxreps":3}`, *nodes),
+		fmt.Sprintf(`{"nodes":%d,"cluster":"uniform","mode":"nab","iters":5,"minreps":2,"maxreps":3}`, *nodes),
+		fmt.Sprintf(`{"nodes":%d,"cluster":"uniform","topo":"fattree:8","iters":5,"minreps":2,"maxreps":3}`, *nodes),
+		fmt.Sprintf(`{"nodes":%d,"cluster":"uniform","skew":"500us","iters":5,"minreps":2,"maxreps":3}`, *nodes),
+	}
+
+	var (
+		mu       sync.Mutex
+		lats     []float64
+		byCache  = map[string]int{}
+		failures int
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				body := specs[i%len(specs)]
+				t0 := time.Now()
+				resp, err := http.Post(base+"/run", "application/json", strings.NewReader(body))
+				lat := float64(time.Since(t0)) / float64(time.Millisecond)
+				mu.Lock()
+				if err != nil {
+					failures++
+					fmt.Fprintf(os.Stderr, "abload: request %d: %v\n", i, err)
+				} else {
+					b, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						failures++
+						fmt.Fprintf(os.Stderr, "abload: request %d: status %d: %s\n", i, resp.StatusCode, b)
+					} else {
+						lats = append(lats, lat)
+						byCache[resp.Header.Get("X-Cache")]++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	sum := stats.SummarizeFloats(lats)
+	fmt.Printf("abload: %d requests, %d clients, %v wall (%.1f req/s)\n",
+		*n, *c, wall.Round(time.Millisecond), float64(*n)/wall.Seconds())
+	fmt.Printf("abload: latency ms: p50 %.2f  p95 %.2f  p99 %.2f  mean %.2f ± %.2f (CI95)\n",
+		sum.P50, sum.P95, sum.P99, sum.Mean, sum.CI95)
+	fmt.Printf("abload: x-cache: miss %d  hit %d  dedup %d\n",
+		byCache["miss"], byCache["hit"], byCache["dedup"])
+
+	// Pull /metrics for the server-side view when the endpoint answers.
+	if resp, err := http.Get(base + "/metrics"); err == nil {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("abload: server metrics: %s", b)
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "abload: %d requests failed\n", failures)
+		os.Exit(1)
+	}
+	if byCache["miss"] == 0 || byCache["hit"] == 0 {
+		fmt.Fprintln(os.Stderr, "abload: expected both cold misses and warm hits in the mix")
+		os.Exit(1)
+	}
+}

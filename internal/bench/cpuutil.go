@@ -57,6 +57,20 @@ func (m Mode) String() string {
 	return "?"
 }
 
+// ParseMode parses a mode name as it appears in flags and scenario
+// specs — the inverse of String.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "nab":
+		return NonAppBypass, nil
+	case "ab":
+		return AppBypass, nil
+	case "nic":
+		return NICBased, nil
+	}
+	return NonAppBypass, fmt.Errorf("unknown mode %q (nab|ab|nic)", s)
+}
+
 // Config parameterizes one benchmark run.
 type Config struct {
 	Specs   []model.NodeSpec

@@ -28,6 +28,30 @@ import (
 type Pool struct {
 	mu   sync.Mutex
 	free map[poolKey][]*Cluster
+
+	hits   uint64 // Gets served by a pooled cluster
+	misses uint64 // Gets that built fresh
+	size   int    // clusters currently pooled
+	drains uint64 // clusters closed by Drain
+}
+
+// PoolStats is a point-in-time snapshot of a Pool's activity counters —
+// the numbers the scenario server's /metrics endpoint reports so "how
+// warm is the pool" is observable, not guessed.
+type PoolStats struct {
+	Hits   uint64 `json:"hits"`   // Gets served by reusing a pooled cluster
+	Misses uint64 `json:"misses"` // Gets that had to build fresh
+	Size   int    `json:"size"`   // clusters sitting idle in the pool now
+	Drains uint64 `json:"drains"` // clusters closed by Drain over the pool's lifetime
+}
+
+// Stats returns a consistent snapshot of the pool counters. Hits+Misses
+// equals the number of Get calls completed; Size moves with Get/Put and
+// returns to zero after a Drain.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Hits: p.hits, Misses: p.misses, Size: p.size, Drains: p.drains}
 }
 
 // poolKey summarizes a cluster shape. The spec hash may collide, so Get
@@ -120,6 +144,12 @@ func (p *Pool) Get(cfg Config) *Cluster {
 			break
 		}
 	}
+	if c != nil {
+		p.hits++
+		p.size--
+	} else {
+		p.misses++
+	}
 	p.mu.Unlock()
 	if c == nil {
 		return New(cfg)
@@ -133,6 +163,7 @@ func (p *Pool) Get(cfg Config) *Cluster {
 func (p *Pool) Put(c *Cluster) {
 	p.mu.Lock()
 	p.free[c.key] = append(p.free[c.key], c)
+	p.size++
 	p.mu.Unlock()
 }
 
@@ -142,10 +173,16 @@ func (p *Pool) Drain() {
 	p.mu.Lock()
 	free := p.free
 	p.free = make(map[poolKey][]*Cluster)
+	p.size = 0
 	p.mu.Unlock()
+	var closed uint64
 	for _, list := range free {
 		for _, c := range list {
 			c.Close()
+			closed++
 		}
 	}
+	p.mu.Lock()
+	p.drains += closed
+	p.mu.Unlock()
 }

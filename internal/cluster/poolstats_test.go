@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"abred/internal/model"
+	"abred/internal/topo"
+)
+
+// TestPoolStatsConcurrent hammers one Pool from many goroutines with a
+// mix of cluster shapes — crossbar, fat-tree, flow-engine — and checks
+// the counters add up: every Get is a hit or a miss, Size equals what
+// was Put back and not taken out, and a Drain closes exactly Size
+// clusters. Run under -race this is also the concurrency certificate
+// for Get/Put/Stats interleavings.
+func TestPoolStatsConcurrent(t *testing.T) {
+	p := NewPool()
+	// Costs are set explicitly (Get would default them before keying, so
+	// matches on the raw config would see a zero-vs-default mismatch).
+	costs := model.DefaultCosts()
+	cfgs := []Config{
+		{Specs: model.Uniform(4), Costs: costs, Seed: 1},
+		{Specs: model.Uniform(8), Costs: costs, Seed: 2},
+		{Specs: model.Uniform(8), Costs: costs, Seed: 3, Topo: topo.Spec{Kind: topo.FatTree, K: 4}},
+		{Specs: model.Uniform(4), Costs: costs, Seed: 4, Engine: EngineFlow},
+	}
+	const workers = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				cfg := cfgs[(w+i)%len(cfgs)]
+				c := p.Get(cfg)
+				if !c.matches(cfg) {
+					t.Errorf("pool returned a cluster of the wrong shape for %+v", cfg)
+				}
+				_ = p.Stats() // snapshots must be safe mid-churn
+				p.Put(c)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := p.Stats()
+	const gets = workers * iters
+	if st.Hits+st.Misses != gets {
+		t.Fatalf("hits %d + misses %d != %d gets", st.Hits, st.Misses, gets)
+	}
+	if st.Misses < uint64(len(cfgs)) {
+		t.Fatalf("misses %d < %d distinct shapes", st.Misses, len(cfgs))
+	}
+	// Every Get was followed by a Put, so everything ever built is idle
+	// in the pool now: one cluster per fresh build.
+	if st.Size != int(st.Misses) {
+		t.Fatalf("size %d != misses %d with all clusters returned", st.Size, st.Misses)
+	}
+	if st.Drains != 0 {
+		t.Fatalf("drains %d before any Drain", st.Drains)
+	}
+
+	wasSize := st.Size
+	p.Drain()
+	st = p.Stats()
+	if st.Size != 0 || st.Drains != uint64(wasSize) {
+		t.Fatalf("after Drain: size %d, drains %d (want 0, %d)", st.Size, st.Drains, wasSize)
+	}
+	// The pool stays usable: the next Get is a fresh-build miss.
+	c := p.Get(cfgs[0])
+	if got := p.Stats(); got.Misses != st.Misses+1 || got.Hits != st.Hits {
+		t.Fatalf("post-Drain Get not a miss: %+v", got)
+	}
+	c.Close()
+}

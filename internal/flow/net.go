@@ -81,9 +81,9 @@ type Flow struct {
 	h         Handler
 	tag       uint64
 	ev        sim.EventRef
-	mark      uint32 // closure-membership epoch
-	gen       uint32 // bumped on recycle; guards stale cross-LP messages
-	frozen    bool   // water-filling scratch
+	mark      uint32  // closure-membership epoch
+	gen       uint32  // bumped on recycle; guards stale cross-LP messages
+	frozen    bool    // water-filling scratch
 	stub      bool    // remote half of a cross-LP flow (no completion event)
 	xlp       int32   // peer LP of a cross-LP flow, -1 when LP-local
 	xid       int32   // stub only: flow id in the source shard
@@ -150,10 +150,10 @@ type Net struct {
 	// LP partitioning (zero-valued / nil in the monolithic engine).
 	lp       int32
 	lps      int
-	pmap     []int32   // host -> owning LP
-	lpOf     []int32   // link -> owning LP
-	peers    []*Net    // all shards, indexed by LP
-	la       sim.Time  // conservative lookahead, 2·(WireProp+SwitchHop)
+	pmap     []int32  // host -> owning LP
+	lpOf     []int32  // link -> owning LP
+	peers    []*Net   // all shards, indexed by LP
+	la       sim.Time // conservative lookahead, 2·(WireProp+SwitchHop)
 	stubs    map[xkey]int32
 	outbox   []xmsg
 	oseq     uint64

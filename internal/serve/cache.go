@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+)
+
+// Cache is the content-addressed result store: an in-memory LRU over
+// response bodies keyed by spec hash, optionally backed by an on-disk
+// directory so a restarted server still answers previously computed
+// scenarios without re-simulating. Bodies are immutable once stored
+// (they are pure functions of their key), so there is no invalidation —
+// only capacity eviction.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	byKey    map[string]*list.Element
+	dir      string // "" = memory only
+
+	hits     uint64 // served from memory
+	diskHits uint64 // faulted in from the disk store
+	misses   uint64 // not found anywhere
+	puts     uint64
+	evicts   uint64
+}
+
+// CacheStats is the cache's /metrics block.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`      // lookups served from memory
+	DiskHits uint64 `json:"disk_hits"` // lookups faulted in from disk
+	Misses   uint64 `json:"misses"`    // lookups that found nothing
+	Entries  int    `json:"entries"`   // bodies resident in memory now
+	Puts     uint64 `json:"puts"`
+	Evicts   uint64 `json:"evicts"`
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache returns a cache holding up to capacity bodies in memory
+// (capacity <= 0 means 4096). A non-empty dir enables the disk store;
+// the directory is created if missing.
+func NewCache(capacity int, dir string) (*Cache, error) {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Cache{capacity: capacity, ll: list.New(),
+		byKey: make(map[string]*list.Element), dir: dir}, nil
+}
+
+// keyPat guards disk paths: keys are hex digests, and nothing else may
+// reach the filesystem.
+var keyPat = regexp.MustCompile(`^[0-9a-f]{16,64}$`)
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached body for key. Memory first; on a miss the
+// disk store is consulted and a hit is promoted into memory.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if e, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(e)
+		body := e.Value.(*cacheEntry).body
+		c.hits++
+		c.mu.Unlock()
+		return body, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" && keyPat.MatchString(key) {
+		if body, err := os.ReadFile(c.path(key)); err == nil {
+			c.mu.Lock()
+			c.diskHits++
+			c.insert(key, body)
+			c.mu.Unlock()
+			return body, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// insert adds a body under c.mu, evicting from the LRU tail past
+// capacity.
+func (c *Cache) insert(key string, body []byte) {
+	if e, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*cacheEntry).body = body
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.capacity {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.byKey, tail.Value.(*cacheEntry).key)
+		c.evicts++
+	}
+}
+
+// Put stores a computed body. The disk write is atomic (tmp + rename)
+// and best-effort: a full disk degrades the store to memory-only
+// rather than failing the request.
+func (c *Cache) Put(key string, body []byte) {
+	c.mu.Lock()
+	c.puts++
+	c.insert(key, body)
+	c.mu.Unlock()
+	if c.dir != "" && keyPat.MatchString(key) {
+		tmp := c.path(key) + ".tmp"
+		if err := os.WriteFile(tmp, body, 0o644); err == nil {
+			_ = os.Rename(tmp, c.path(key))
+		}
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, DiskHits: c.diskHits, Misses: c.misses,
+		Entries: c.ll.Len(), Puts: c.puts, Evicts: c.evicts}
+}

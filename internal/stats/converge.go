@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// FloatSummary describes a float64 sample the same way Summary
+// describes a duration sample: one-pass Welford moments, nearest-rank
+// percentiles, and the normal-approximation 95% confidence half-width
+// on the mean. It is the unit-agnostic form the scenario server reports
+// per metric (microseconds, counts, ratios).
+type FloatSummary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+}
+
+// SummarizeFloats computes a FloatSummary; it returns the zero value
+// for an empty sample. Like Summarize, Std is the population standard
+// deviation while CI95 uses the n−1 sample variance, and the
+// percentiles are nearest-rank (always members of the sample). CI95 is
+// zero for samples of fewer than two points.
+func SummarizeFloats(xs []float64) FloatSummary {
+	if len(xs) == 0 {
+		return FloatSummary{}
+	}
+	s := FloatSummary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var mean, m2 float64
+	for i, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		d := x - mean
+		mean += d / float64(i+1)
+		m2 += d * (x - mean)
+	}
+	s.Mean = mean
+	variance := m2 / float64(len(xs))
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	if len(xs) > 1 && variance > 0 {
+		sampleStd := math.Sqrt(m2 / float64(len(xs)-1))
+		s.CI95 = 1.96 * sampleStd / math.Sqrt(float64(len(xs)))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = percentileFloat(sorted, 0.50)
+	s.P95 = percentileFloat(sorted, 0.95)
+	s.P99 = percentileFloat(sorted, 0.99)
+	return s
+}
+
+// percentileFloat reads the p-quantile from an ascending sample using
+// nearest-rank.
+func percentileFloat(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// RelCI95 is the relative confidence half-width CI95/|Mean| — the
+// quantity the Hunold & Carpen-Amarie repetition methodology drives to
+// a target before a number may be reported. A degenerate sample with
+// zero mean reports 0 when its half-width is also zero (a constant
+// all-zero sample is perfectly converged) and +Inf otherwise.
+func (s FloatSummary) RelCI95() float64 {
+	if s.Mean == 0 {
+		if s.CI95 == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return s.CI95 / math.Abs(s.Mean)
+}
+
+// ConvergeOpts bounds a Converge run. The zero value means: 5% target
+// relative half-width, at least 3 and at most 32 repetitions, no wall
+// budget.
+type ConvergeOpts struct {
+	RelCI   float64       // target CI95/|mean|; <= 0 means 0.05
+	MinReps int           // repetitions before convergence may be declared; <= 0 means 3
+	MaxReps int           // hard repetition budget; <= 0 means 32
+	Budget  time.Duration // wall-clock budget; 0 means unlimited
+}
+
+// Defaults returns o with unset fields replaced by the documented
+// defaults and MaxReps clamped to at least MinReps.
+func (o ConvergeOpts) Defaults() ConvergeOpts {
+	if o.RelCI <= 0 {
+		o.RelCI = 0.05
+	}
+	if o.MinReps <= 0 {
+		o.MinReps = 3
+	}
+	if o.MaxReps <= 0 {
+		o.MaxReps = 32
+	}
+	if o.MaxReps < o.MinReps {
+		o.MaxReps = o.MinReps
+	}
+	return o
+}
+
+// Stop reasons a Convergence reports.
+const (
+	StopConverged = "converged" // relative CI95 half-width under target
+	StopMaxReps   = "maxreps"   // repetition budget exhausted first
+	StopBudget    = "budget"    // wall-clock budget exhausted first
+)
+
+// Convergence is the outcome of an adaptive-repetition run.
+type Convergence struct {
+	Xs        []float64    // every sample drawn, in repetition order
+	Summary   FloatSummary // summary of Xs
+	Converged bool         // the target relative half-width was reached
+	Stopped   string       // StopConverged, StopMaxReps or StopBudget
+}
+
+// Converge repeats sample until the relative CI95 half-width of the
+// collected measurements drops below the target, per the "MPI
+// Benchmarking Revisited" methodology: a single-shot timing is not a
+// result, and a mean without a converged confidence interval is not
+// defensible. sample(rep) must produce repetition rep's measurement
+// (typically a fresh run under a rep-derived seed); it is called
+// MinReps..MaxReps times, one at a time, with the interval re-tested
+// after each draw once MinReps have accumulated. A wall budget, when
+// set, is checked between repetitions, so one repetition beyond the
+// budget may still run to completion.
+//
+// With a deterministic sample function the entire trajectory — the
+// repetition count, every sample, the final summary — is a pure
+// function of (opts, sample), which is what lets the scenario server
+// cache converged responses byte-for-byte.
+func Converge(opts ConvergeOpts, sample func(rep int) float64) Convergence {
+	opts = opts.Defaults()
+	start := time.Now()
+	var c Convergence
+	for rep := 0; rep < opts.MaxReps; rep++ {
+		c.Xs = append(c.Xs, sample(rep))
+		if len(c.Xs) >= opts.MinReps {
+			c.Summary = SummarizeFloats(c.Xs)
+			if c.Summary.RelCI95() <= opts.RelCI {
+				c.Converged = true
+				c.Stopped = StopConverged
+				return c
+			}
+		}
+		if opts.Budget > 0 && time.Since(start) >= opts.Budget {
+			c.Summary = SummarizeFloats(c.Xs)
+			c.Stopped = StopBudget
+			return c
+		}
+	}
+	c.Summary = SummarizeFloats(c.Xs)
+	c.Stopped = StopMaxReps
+	return c
+}

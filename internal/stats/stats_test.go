@@ -146,6 +146,76 @@ func TestWelfordConsistency(t *testing.T) {
 	}
 }
 
+// TestPercentilesTable pins the nearest-rank definition on explicit
+// samples, N=1 and other tiny sizes included: Pq is sample member
+// number ⌈q·N⌉ (1-based) of the ascending order.
+func TestPercentilesTable(t *testing.T) {
+	cases := []struct {
+		name          string
+		xs            []time.Duration
+		p50, p95, p99 time.Duration
+	}{
+		{"n1", []time.Duration{7}, 7, 7, 7},
+		{"n2", []time.Duration{20, 10}, 10, 20, 20},
+		{"n3", []time.Duration{3, 1, 2}, 2, 3, 3},
+		{"n4-ties", []time.Duration{5, 5, 1, 5}, 5, 5, 5},
+		{"n10", []time.Duration{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, 5, 10, 10},
+		{"n20", seq(20), 10, 19, 20},
+		{"n100", seq(100), 50, 95, 99},
+		{"n101", seq(101), 51, 96, 100},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := Summarize(c.xs)
+			if s.P50 != c.p50 || s.P95 != c.p95 || s.P99 != c.p99 {
+				t.Errorf("percentiles = %v/%v/%v, want %v/%v/%v",
+					s.P50, s.P95, s.P99, c.p50, c.p95, c.p99)
+			}
+		})
+	}
+}
+
+// seq returns {1..n} in descending order (Summarize must sort).
+func seq(n int) []time.Duration {
+	xs := make([]time.Duration, n)
+	for i := range xs {
+		xs[i] = time.Duration(n - i)
+	}
+	return xs
+}
+
+// TestCI95TinyN pins the confidence-interval edge cases: a single
+// point has no interval (CI95 = 0 — one timing is not a statistic), a
+// constant sample has a zero-width interval, and the first real case
+// (N=2) matches the closed form 1.96·s/√2 with the n−1 sample std.
+func TestCI95TinyN(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []time.Duration
+		want float64
+	}{
+		{"n1", []time.Duration{1000}, 0},
+		{"n2-constant", []time.Duration{500, 500}, 0},
+		{"n2", []time.Duration{100, 200}, 1.96 * math.Sqrt(5000) / math.Sqrt(2)},
+		{"n3", []time.Duration{10, 20, 30}, 1.96 * 10 / math.Sqrt(3)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := Summarize(c.xs)
+			if got := float64(s.CI95); math.Abs(got-c.want) > 1 {
+				t.Errorf("CI95 = %v, want %.1f", got, c.want)
+			}
+		})
+	}
+	// The float path must agree on the same tiny samples.
+	if s := SummarizeFloats([]float64{1000}); s.CI95 != 0 {
+		t.Errorf("float n1 CI95 = %v, want 0", s.CI95)
+	}
+	if s := SummarizeFloats([]float64{10, 20, 30}); math.Abs(s.CI95-1.96*10/math.Sqrt(3)) > 1e-9 {
+		t.Errorf("float n3 CI95 = %v", s.CI95)
+	}
+}
+
 func TestMicros(t *testing.T) {
 	if got := Micros(1500 * time.Nanosecond); got != "1.5" {
 		t.Errorf("Micros = %q", got)
